@@ -1,0 +1,99 @@
+"""Shared configuration and caching for the benchmark harness.
+
+The main comparison (Fig. 15 / Table 4) and the scalability sweep
+(Fig. 17 / 18) are expensive; several benchmark files consume the same
+runs, so they are computed once per pytest session and cached here.
+
+Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``paper``  — the paper's setup: 64 GPUs, 50 jobs, capacities 16–64.
+* ``medium`` — (default) 64 GPUs, 50 jobs, but a two-point scalability
+  sweep, keeping the whole benchmark suite within a few minutes.
+* ``small``  — 16 GPUs, 12 jobs, for smoke-testing the harness.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Sequence, Tuple
+
+from repro.baselines.drl import DRLScheduler, PolicyNetwork, ReinforceTrainer
+from repro.baselines.optimus import OptimusScheduler
+from repro.baselines.tiresias import TiresiasScheduler
+from repro.core.evolution import EvolutionConfig
+from repro.core.ones_scheduler import ONESConfig, ONESScheduler
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ComparisonResult, run_comparison, run_scalability_sweep
+from repro.workload.trace import TraceConfig
+
+#: Where benchmark reports are written (in addition to being printed).
+OUTPUT_DIR = Path(__file__).resolve().parent / "results"
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "medium").lower()
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "2021"))
+
+_SCALES = {
+    "paper": {"num_gpus": 64, "num_jobs": 50, "capacities": (16, 32, 48, 64)},
+    "medium": {"num_gpus": 64, "num_jobs": 50, "capacities": (16, 64)},
+    "small": {"num_gpus": 16, "num_jobs": 12, "capacities": (8, 16)},
+}
+if SCALE not in _SCALES:
+    raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {SCALE!r}")
+
+PARAMS = _SCALES[SCALE]
+
+
+def write_report(name: str, text: str) -> Path:
+    """Print a benchmark report and persist it under ``benchmarks/results``."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+@lru_cache(maxsize=1)
+def trained_drl_policy() -> PolicyNetwork:
+    """Train the DRL baseline's policy once per session (offline phase)."""
+    trainer = ReinforceTrainer(episodes=20, jobs_per_episode=10, num_gpus=16, seed=SEED)
+    return trainer.train()
+
+
+def scheduler_factories() -> Dict[str, object]:
+    """The four evaluated schedulers, mirroring Table 3."""
+    policy = trained_drl_policy()
+    return {
+        "ONES": lambda seed: ONESScheduler(ONESConfig(evolution=EvolutionConfig()), seed=seed),
+        "DRL": lambda seed: DRLScheduler(policy=policy, seed=seed, greedy=True),
+        "Tiresias": lambda seed: TiresiasScheduler(),
+        "Optimus": lambda seed: OptimusScheduler(),
+    }
+
+
+def main_experiment_config(num_gpus: int | None = None) -> ExperimentConfig:
+    """The Fig. 15 experiment configuration at the selected benchmark scale."""
+    return ExperimentConfig(
+        num_gpus=int(num_gpus or PARAMS["num_gpus"]),
+        trace=TraceConfig(num_jobs=int(PARAMS["num_jobs"]), arrival_rate=1.0 / 30.0),
+        seed=SEED,
+        schedulers=scheduler_factories(),
+    )
+
+
+@lru_cache(maxsize=1)
+def main_comparison() -> ComparisonResult:
+    """The shared Fig. 15 / Table 4 run (cached per session)."""
+    return run_comparison(main_experiment_config())
+
+
+@lru_cache(maxsize=1)
+def scalability_sweep() -> Dict[int, ComparisonResult]:
+    """The shared Fig. 17 / 18 sweep (cached per session)."""
+    return run_scalability_sweep(
+        capacities=tuple(PARAMS["capacities"]),
+        base_config=main_experiment_config(),
+        schedulers=scheduler_factories(),
+    )

@@ -1,0 +1,40 @@
+"""Figure 2 — training speed, elastic vs fixed global batch size.
+
+The paper plots ResNet50/CIFAR10 throughput against the number of
+workers: with a fixed global batch of 256 the curve saturates and drops,
+while an elastic batch (growing to 2048) keeps improving.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_series
+from repro.experiments import figures
+
+from benchmarks._shared import write_report
+
+
+def _render(data) -> str:
+    table = ascii_series(
+        [int(w) for w in data["workers"]],
+        {
+            "fixed batch (B=256) img/s": [round(v, 1) for v in data["fixed_batch"]],
+            "elastic batch (256->2048) img/s": [round(v, 1) for v in data["elastic_batch"]],
+        },
+        x_label="# workers",
+    )
+    ratio = data["elastic_batch"][-1] / data["fixed_batch"][-1]
+    return (
+        "Figure 2: ResNet50/CIFAR10 training speed vs number of workers\n"
+        f"{table}\n"
+        f"Elastic / fixed throughput at 8 workers: {ratio:.1f}x\n"
+        f"Fixed-batch curve peaks at {int(np.argmax(data['fixed_batch'])) + 1} workers."
+    )
+
+
+def test_fig02_throughput_scaling(benchmark):
+    data = benchmark(figures.figure2_throughput_scaling)
+    report = _render(data)
+    write_report("fig02_throughput", report)
+    # Shape assertions: elastic keeps winning, fixed saturates.
+    assert data["elastic_batch"][-1] > 2.0 * data["fixed_batch"][-1]
+    assert np.argmax(data["fixed_batch"]) < len(data["fixed_batch"]) - 1

@@ -1,0 +1,41 @@
+"""Figure 3 — convergence with a fixed local batch of 256 and 1/2/4/8 GPUs.
+
+Adding GPUs at a fixed per-GPU batch inflates the global batch; without
+learning-rate re-scaling the job needs more epochs to reach the same
+accuracy.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_series
+from repro.experiments import figures
+
+from benchmarks._shared import write_report
+
+
+def _render(data) -> str:
+    checkpoints = [24, 49, 99, 149, 199]
+    checkpoints = [c for c in checkpoints if c < len(data["epochs"])]
+    table = ascii_series(
+        [int(data["epochs"][c]) for c in checkpoints],
+        {
+            key: [round(float(data[key][c]), 3) for c in checkpoints]
+            for key in ("1_gpus", "2_gpus", "4_gpus", "8_gpus")
+        },
+        x_label="epoch",
+    )
+    return (
+        "Figure 3: accuracy vs epochs, fixed local batch 256, no LR re-scaling\n"
+        + table
+    )
+
+
+def test_fig03_convergence_vs_gpus(benchmark):
+    data = benchmark(figures.figure3_convergence_vs_gpus)
+    write_report("fig03_convergence", _render(data))
+    # More GPUs (larger global batch) converge slower at every checkpoint.
+    mid = len(data["epochs"]) // 2
+    assert data["1_gpus"][mid] > data["2_gpus"][mid] > data["4_gpus"][mid] > data["8_gpus"][mid]
+    # All curves are monotone non-decreasing.
+    for key in ("1_gpus", "2_gpus", "4_gpus", "8_gpus"):
+        assert np.all(np.diff(data[key]) >= -1e-12)

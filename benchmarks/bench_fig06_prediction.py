@@ -1,0 +1,40 @@
+"""Figure 6 — online prediction of training progress with uncertainty.
+
+The progress predictor is fitted on the training logs of completed jobs
+and then queried for a held-out job: the report shows the mean predicted
+progress and the 90% credible interval as a function of processed
+samples, together with the job's observed progress.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_series
+from repro.experiments import figures
+
+from benchmarks._shared import write_report
+
+
+def _render(data) -> str:
+    points = np.linspace(0, len(data["samples_processed"]) - 1, 8).astype(int)
+    table = ascii_series(
+        [int(data["samples_processed"][i]) for i in points],
+        {
+            "mean progress": [round(float(data["mean"][i]), 3) for i in points],
+            "ci low": [round(float(data["ci_low"][i]), 3) for i in points],
+            "ci high": [round(float(data["ci_high"][i]), 3) for i in points],
+        },
+        x_label="# processed samples",
+    )
+    return "Figure 6: online progress prediction with 90% credible interval\n" + table
+
+
+def test_fig06_online_prediction(benchmark):
+    data = benchmark.pedantic(
+        figures.figure6_prediction_example, rounds=1, iterations=1
+    )
+    write_report("fig06_prediction", _render(data))
+    # The predictive mean grows with processed samples and the credible
+    # interval brackets it.
+    assert data["mean"][-1] > data["mean"][0]
+    assert np.all(data["ci_low"] <= data["mean"] + 1e-9)
+    assert np.all(data["mean"] <= data["ci_high"] + 1e-9)

@@ -1,0 +1,39 @@
+"""Figure 13 — abrupt batch-size scaling (256 → 4096 at epoch 30) spikes the loss."""
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_series
+from repro.experiments import figures
+
+from benchmarks._shared import write_report
+
+
+def _render(data) -> str:
+    switch = int(data["switch_epoch"][0])
+    checkpoints = [4, switch - 1, switch, switch + 1, switch + 4, switch + 14, len(data["epochs"]) - 1]
+    table = ascii_series(
+        [int(data["epochs"][c]) for c in checkpoints],
+        {
+            "scaled batch loss": [round(float(data["scaled_batch"][c]), 3) for c in checkpoints],
+            "fixed batch loss": [round(float(data["fixed_batch"][c]), 3) for c in checkpoints],
+        },
+        x_label="epoch",
+    )
+    return (
+        "Figure 13: loss when scaling the batch 256 -> 4096 at epoch "
+        f"{switch} vs a fixed batch of 256\n" + table
+    )
+
+
+def test_fig13_abrupt_scaling(benchmark):
+    data = benchmark(figures.figure13_abrupt_scaling)
+    write_report("fig13_abrupt_scaling", _render(data))
+    switch = int(data["switch_epoch"][0])
+    # The scaled curve spikes right after the switch while the fixed curve
+    # keeps decreasing, then the gap narrows again.
+    assert data["scaled_batch"][switch] > data["scaled_batch"][switch - 1]
+    assert data["scaled_batch"][switch] > data["fixed_batch"][switch]
+    assert np.all(np.diff(data["fixed_batch"]) <= 1e-12)
+    late_gap = data["scaled_batch"][-1] - data["fixed_batch"][-1]
+    spike_gap = data["scaled_batch"][switch] - data["fixed_batch"][switch]
+    assert late_gap < spike_gap

@@ -1,0 +1,31 @@
+"""Figure 14 — gradual batch-size growth (256 → 1024 → 4096) keeps the loss smooth."""
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_series
+from repro.experiments import figures
+
+from benchmarks._shared import write_report
+
+
+def _render(data) -> str:
+    boundaries = [int(b) for b in data["stage_boundaries"]]
+    checkpoints = sorted({4, boundaries[0] - 1, boundaries[0], boundaries[0] + 1,
+                          boundaries[1] - 1, boundaries[1], boundaries[1] + 1,
+                          len(data["loss"]) - 1})
+    table = ascii_series(
+        [int(data["epochs"][c]) for c in checkpoints],
+        {"loss": [round(float(data["loss"][c]), 3) for c in checkpoints]},
+        x_label="epoch",
+    )
+    stages = " -> ".join(str(int(b)) for b in data["stage_batches"])
+    return f"Figure 14: loss when growing the batch gradually ({stages})\n" + table
+
+
+def test_fig14_gradual_scaling(benchmark):
+    data = benchmark(figures.figure14_gradual_scaling)
+    write_report("fig14_gradual_scaling", _render(data))
+    # No visible loss spike at the stage boundaries: the loss never jumps
+    # upwards by a meaningful amount anywhere in the schedule.
+    assert float(np.max(np.diff(data["loss"]))) < 0.05
+    assert data["loss"][-1] < data["loss"][0]

@@ -1,0 +1,31 @@
+"""Figure 16 — elastic batch-size scaling vs checkpoint-based migration overhead."""
+
+from repro.analysis.reporting import format_table
+from repro.experiments import figures
+
+from benchmarks._shared import write_report
+
+
+def test_fig16_scaling_overheads(benchmark):
+    table = benchmark(figures.figure16_overheads)
+    rows = [
+        {
+            "model": name,
+            "elastic (s)": round(row["elastic"], 2),
+            "checkpoint (s)": round(row["checkpoint"], 2),
+            "checkpoint / elastic": round(row["checkpoint"] / row["elastic"], 1),
+        }
+        for name, row in table.items()
+    ]
+    write_report(
+        "fig16_overheads",
+        "Figure 16: re-configuration overhead, elastic vs checkpoint-based migration\n"
+        + format_table(rows)
+        + "\n(paper: elastic 0.27-1.13 s, checkpoint-based 10.3-22.2 s)",
+    )
+    for name, row in table.items():
+        # Shape: elastic is order-1 second, checkpointing tens of seconds,
+        # at least 5x more expensive for every model.
+        assert row["elastic"] < 3.0, name
+        assert 5.0 < row["checkpoint"] < 60.0, name
+        assert row["checkpoint"] > 5.0 * row["elastic"], name

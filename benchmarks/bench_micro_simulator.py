@@ -1,0 +1,31 @@
+"""Microbenchmark — simulator throughput (events/second).
+
+Times a complete small-trace simulation under a cheap scheduler, which
+bounds how quickly the harness can sweep configurations (Fig. 17/18 style
+studies are dozens of such runs).
+"""
+
+from repro.baselines.tiresias import TiresiasScheduler
+from repro.cluster.topology import make_longhorn_cluster
+from repro.sim.simulator import ClusterSimulator, SimulationConfig
+from repro.workload.trace import TraceConfig, TraceGenerator
+
+from benchmarks._shared import SEED
+
+
+def _run_once():
+    trace = TraceGenerator(
+        TraceConfig(num_jobs=20, arrival_rate=1.0 / 15.0), seed=SEED
+    ).generate()
+    topology = make_longhorn_cluster(16)
+    simulator = ClusterSimulator(
+        topology, TiresiasScheduler(), trace, config=SimulationConfig()
+    )
+    return simulator.run()
+
+
+class TestSimulatorThroughput:
+    def test_full_simulation_tiresias(self, benchmark):
+        result = benchmark(_run_once)
+        assert not result.incomplete
+        assert result.events_processed > 100

@@ -1,0 +1,33 @@
+"""Table 2 — the evaluation workload catalogue (50 workloads)."""
+
+from repro.analysis.reporting import format_table
+from repro.experiments import figures
+from repro.workload.tasks import build_workload_catalog
+
+from benchmarks._shared import write_report
+
+
+def _render(summary, catalog) -> str:
+    rows = [
+        {"task/dataset": key, "# workloads": count}
+        for key, count in sorted(summary.items())
+        if key != "total"
+    ]
+    rows.append({"task/dataset": "total", "# workloads": summary["total"]})
+    models = sorted({t.model_name for t in catalog})
+    sizes = f"{min(t.dataset_size for t in catalog)}..{max(t.dataset_size for t in catalog)}"
+    return (
+        "Table 2: workloads in the evaluation trace\n"
+        + format_table(rows)
+        + f"\nModels: {', '.join(models)}\nDataset sizes: {sizes} samples"
+    )
+
+
+def test_table2_workload_catalog(benchmark):
+    summary = benchmark(figures.table2_workload_catalog)
+    catalog = build_workload_catalog()
+    write_report("table2_workloads", _render(summary, catalog))
+    assert summary["total"] == 50
+    assert summary["cv/imagenet"] == 24
+    assert summary["cv/cifar10"] == 15
+    assert summary["nlp/cola"] + summary["nlp/mrpc"] + summary["nlp/sst2"] == 11

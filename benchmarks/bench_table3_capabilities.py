@@ -1,0 +1,27 @@
+"""Table 3 — capability comparison of ONES and the baseline schedulers."""
+
+from repro.analysis.reporting import format_table
+from repro.experiments import figures
+
+from benchmarks._shared import write_report
+
+
+def test_table3_capabilities(benchmark):
+    rows = benchmark(figures.table3_capabilities)
+    write_report(
+        "table3_capabilities",
+        "Table 3: comparison of ONES and the state-of-the-art DL schedulers\n"
+        + format_table(rows),
+    )
+    by_name = {row["Scheduler"]: row for row in rows}
+    # ONES is the only scheduler with an elastic batch size.
+    assert by_name["ONES"]["Elastic Batch Size"] == "Y"
+    assert all(
+        by_name[name]["Elastic Batch Size"] == "N" for name in ("DRL", "Tiresias", "Optimus")
+    )
+    # DRL cannot preempt; Tiresias cannot resize jobs.
+    assert by_name["DRL"]["Allow Preemption"] == "N"
+    assert by_name["Tiresias"]["Elastic Job Size"] == "N"
+    # ONES and DRL are dynamic, Tiresias and Optimus greedy.
+    assert by_name["ONES"]["Greedy/Dynamic Strategy"] == "Dynamic"
+    assert by_name["Optimus"]["Greedy/Dynamic Strategy"] == "Greedy"

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare ONES against DRL, Tiresias and Optimus on a shared trace.
+
+This is a scaled-down version of the paper's main experiment (Fig. 15 and
+Table 4): every scheduler replays exactly the same 20-job trace on a
+32-GPU cluster, and the script prints average JCT / execution / queuing
+time, the fraction of jobs finished within 200 s, and Wilcoxon
+significance tests of ONES against each baseline.
+
+Run with::
+
+    python examples/compare_schedulers.py            # ~1-2 minutes
+    python examples/compare_schedulers.py --quick    # smaller, ~20 s
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.metrics import completion_fraction_within
+from repro.analysis.reporting import ascii_bar_chart, format_table
+from repro.analysis.stats import significance_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_comparison
+from repro.workload.trace import TraceConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run a smaller configuration")
+    parser.add_argument("--gpus", type=int, default=None, help="cluster size (multiple of 4)")
+    parser.add_argument("--jobs", type=int, default=None, help="number of jobs in the trace")
+    parser.add_argument("--seed", type=int, default=2021)
+    args = parser.parse_args()
+
+    num_gpus = args.gpus or (16 if args.quick else 32)
+    num_jobs = args.jobs or (10 if args.quick else 20)
+
+    config = ExperimentConfig(
+        num_gpus=num_gpus,
+        trace=TraceConfig(num_jobs=num_jobs, arrival_rate=1.0 / 30.0),
+        seed=args.seed,
+    )
+    print(f"Running {num_jobs} jobs on {num_gpus} GPUs with schedulers: "
+          f"{', '.join(config.scheduler_factories())}")
+    comparison = run_comparison(config)
+
+    for metric, label in [
+        ("jct", "Average JCT (s)"),
+        ("execution_time", "Average execution time (s)"),
+        ("queuing_time", "Average queuing time (s)"),
+    ]:
+        print()
+        print(label)
+        print("-" * len(label))
+        print(ascii_bar_chart(comparison.averages(metric), unit="s"))
+
+    print()
+    print("Fraction of jobs completed within 200 s")
+    fractions = completion_fraction_within(list(comparison.results.values()), 200.0)
+    print(ascii_bar_chart({k: 100 * v for k, v in fractions.items()}, unit="%"))
+
+    print()
+    improvements = comparison.improvements("ONES", "jct")
+    print("ONES average-JCT improvement over baselines:")
+    for name, value in improvements.items():
+        print(f"  vs {name:10s}: {100 * value:5.1f}%")
+
+    ones = comparison.results["ONES"]
+    baselines = [r for n, r in comparison.results.items() if n != "ONES"]
+    table4 = significance_table(ones, baselines)
+    print()
+    print("Wilcoxon significance tests (Table 4)")
+    print(format_table([report.as_row() for report in table4.values()]))
+
+
+if __name__ == "__main__":
+    main()

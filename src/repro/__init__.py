@@ -1,0 +1,71 @@
+"""repro — a reproduction of ONES (SC'21).
+
+*Online Evolutionary Batch Size Orchestration for Scheduling Deep
+Learning Workloads in GPU Clusters* (Bian, Li, Wang, You — SC 2021).
+
+The package layers, bottom-up:
+
+* :mod:`repro.utils` — RNG, units, validation, summary statistics.
+* :mod:`repro.cluster` — the simulated GPU cluster (devices, topology,
+  allocations, events).
+* :mod:`repro.jobs` — analytic throughput/convergence models of DL
+  training jobs and their runtime state.
+* :mod:`repro.workload` — the Table-2 workload catalogue and trace
+  generation.
+* :mod:`repro.prediction` — the online progress predictor (Beta
+  distributions over training progress, GPR / Bayesian-linear backends).
+* :mod:`repro.scaling` — elastic batch-size scaling: protocol state
+  machines and the overhead model.
+* :mod:`repro.core` — ONES itself: schedule genomes, SRUF scoring,
+  batch-size limits, evolution operators and the scheduler.
+* :mod:`repro.baselines` — DRL, Tiresias, Optimus (and reference FIFO /
+  SRTF policies) behind a common scheduler interface.
+* :mod:`repro.sim` — the discrete-event cluster simulator.
+* :mod:`repro.analysis` — metrics, Wilcoxon tests, text reporting.
+* :mod:`repro.experiments` — runners and figure/table generators.
+
+Quickstart
+----------
+>>> from repro.experiments import ExperimentConfig, run_comparison
+>>> config = ExperimentConfig.small(num_gpus=16, num_jobs=8)
+>>> comparison = run_comparison(config)          # doctest: +SKIP
+>>> comparison.averages("jct")                   # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+from repro.cluster.topology import ClusterTopology, make_longhorn_cluster
+from repro.core.ones_scheduler import ONESConfig, ONESScheduler
+from repro.baselines import (
+    DRLScheduler,
+    FIFOScheduler,
+    OptimusScheduler,
+    SRTFScheduler,
+    TiresiasScheduler,
+)
+from repro.sim.simulator import ClusterSimulator, SimulationConfig, SimulationResult
+from repro.workload.trace import TraceConfig, TraceGenerator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_comparison, run_scalability_sweep, run_single
+
+__all__ = [
+    "__version__",
+    "ClusterTopology",
+    "make_longhorn_cluster",
+    "ONESConfig",
+    "ONESScheduler",
+    "DRLScheduler",
+    "FIFOScheduler",
+    "OptimusScheduler",
+    "SRTFScheduler",
+    "TiresiasScheduler",
+    "ClusterSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "TraceConfig",
+    "TraceGenerator",
+    "ExperimentConfig",
+    "run_comparison",
+    "run_scalability_sweep",
+    "run_single",
+]

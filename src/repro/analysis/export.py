@@ -1,0 +1,139 @@
+"""Export simulation results to CSV / JSON.
+
+The benchmark harness prints human-readable reports; downstream analysis
+(plotting in a notebook, aggregating across seeds) is easier from
+machine-readable files.  These helpers export per-job metrics, comparison
+summaries and scalability sweeps using only the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.sim.simulator import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import only needed for type checkers
+    from repro.experiments.runner import ComparisonResult
+
+PathLike = Union[str, Path]
+
+
+def result_to_records(result: SimulationResult) -> list[dict]:
+    """Per-job metric records (one dict per completed job)."""
+    records = []
+    for job_id in sorted(result.completed):
+        metrics = result.completed[job_id]
+        job = result.jobs.get(job_id)
+        record = {
+            "scheduler": result.scheduler_name,
+            "num_gpus": result.num_gpus,
+            "job_id": job_id,
+            **{key: float(value) for key, value in metrics.items()},
+        }
+        if job is not None:
+            record.update(
+                {
+                    "task": job.spec.task,
+                    "dataset": job.spec.dataset,
+                    "model": job.spec.model.name,
+                    "requested_gpus": job.spec.requested_gpus,
+                    "submitted_batch": job.spec.base_batch,
+                    "arrival_time": job.arrival_time,
+                    "max_batch": max((b for _, b in job.batch_history), default=0),
+                    "max_gpus": max((r.num_gpus for r in job.epoch_records), default=0),
+                }
+            )
+        records.append(record)
+    return records
+
+
+def export_result_csv(result: SimulationResult, path: PathLike) -> Path:
+    """Write one run's per-job metrics to a CSV file; returns the path."""
+    records = result_to_records(result)
+    path = Path(path)
+    if not records:
+        path.write_text("")
+        return path
+    fieldnames = sorted({key for record in records for key in record})
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+    return path
+
+
+def export_result_json(result: SimulationResult, path: PathLike) -> Path:
+    """Write one run's summary + per-job metrics as JSON; returns the path."""
+    payload = {
+        "summary": result.summary(),
+        "jobs": result_to_records(result),
+        "incomplete": list(result.incomplete),
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def comparison_to_records(comparison: "ComparisonResult") -> list[dict]:
+    """Flatten a multi-scheduler comparison into per-job records."""
+    records = []
+    for result in comparison.results.values():
+        records.extend(result_to_records(result))
+    return records
+
+
+def export_comparison_csv(comparison: "ComparisonResult", path: PathLike) -> Path:
+    """Write a comparison's per-job metrics (all schedulers) to a CSV file."""
+    records = comparison_to_records(comparison)
+    path = Path(path)
+    if not records:
+        path.write_text("")
+        return path
+    fieldnames = sorted({key for record in records for key in record})
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+    return path
+
+
+def export_comparison_json(comparison: "ComparisonResult", path: PathLike) -> Path:
+    """Write a comparison's summaries, averages and improvements as JSON."""
+    payload = {
+        "num_gpus": comparison.config.num_gpus,
+        "num_jobs": len(comparison.trace),
+        "averages": {
+            metric: comparison.averages(metric)
+            for metric in ("jct", "execution_time", "queuing_time")
+        },
+        "summaries": {name: r.summary() for name, r in comparison.results.items()},
+    }
+    if "ONES" in comparison.results:
+        payload["improvements_over_ONES_reference"] = comparison.improvements("ONES")
+        payload["relative_jct"] = comparison.relative_jct("ONES")
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def export_sweep_json(
+    sweep: Mapping[int, "ComparisonResult"], path: PathLike
+) -> Path:
+    """Write a scalability sweep (Fig. 17/18 data) as JSON."""
+    payload = {}
+    for capacity, comparison in sorted(sweep.items()):
+        entry = {
+            "averages_jct": comparison.averages("jct"),
+            "averages_queuing": comparison.averages("queuing_time"),
+        }
+        if "ONES" in comparison.results:
+            entry["relative_jct"] = comparison.relative_jct("ONES")
+        payload[str(int(capacity))] = entry
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2))
+    return path

@@ -1,0 +1,274 @@
+"""Command-line interface for the ONES reproduction.
+
+Installed as the ``repro-ones`` console script (also runnable as
+``python -m repro.cli``).  Sub-commands:
+
+``trace``
+    Generate a Table-2 workload trace and write it to JSON.
+``run``
+    Replay a trace (or a freshly generated one) under one scheduler and
+    print / export the resulting metrics.
+``compare``
+    Run the Fig. 15 comparison (ONES vs DRL / Tiresias / Optimus) on a
+    shared trace and print averages, improvements and Wilcoxon tests.
+``sweep``
+    Run the Fig. 17/18 scalability sweep over several cluster sizes.
+``figures``
+    Regenerate the analytic figures (2, 3, 13, 14, 16) without running
+    cluster simulations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.export import (
+    export_comparison_csv,
+    export_comparison_json,
+    export_result_csv,
+    export_result_json,
+    export_sweep_json,
+)
+from repro.analysis.reporting import ascii_bar_chart, ascii_series, format_table
+from repro.analysis.stats import significance_table
+from repro.baselines.drl import DRLScheduler
+from repro.baselines.fifo import FIFOScheduler
+from repro.baselines.gandiva import GandivaScheduler
+from repro.baselines.optimus import OptimusScheduler
+from repro.baselines.srtf import SRTFScheduler
+from repro.baselines.tiresias import TiresiasScheduler
+from repro.core.evolution import EvolutionConfig
+from repro.core.ones_scheduler import ONESConfig, ONESScheduler
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    generate_trace,
+    run_comparison,
+    run_scalability_sweep,
+    run_single,
+)
+from repro.workload.replay import load_trace, save_trace, trace_statistics
+from repro.workload.trace import TraceConfig, TraceGenerator
+
+#: CLI name → scheduler factory.
+SCHEDULERS = {
+    "ones": lambda seed: ONESScheduler(seed=seed),
+    "drl": lambda seed: DRLScheduler(seed=seed),
+    "tiresias": lambda seed: TiresiasScheduler(),
+    "optimus": lambda seed: OptimusScheduler(),
+    "gandiva": lambda seed: GandivaScheduler(),
+    "fifo": lambda seed: FIFOScheduler(),
+    "srtf": lambda seed: SRTFScheduler(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ones",
+        description="Reproduction of ONES (SC'21): online evolutionary batch size orchestration.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser("trace", help="generate a workload trace")
+    trace.add_argument("--jobs", type=int, default=50)
+    trace.add_argument("--arrival-interval", type=float, default=30.0,
+                       help="mean seconds between arrivals")
+    trace.add_argument("--seed", type=int, default=2021)
+    trace.add_argument("--output", type=Path, required=True, help="JSON file to write")
+
+    run = sub.add_parser("run", help="run one scheduler over a trace")
+    run.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="ones")
+    run.add_argument("--gpus", type=int, default=64, help="cluster size (multiple of 4)")
+    run.add_argument("--jobs", type=int, default=50, help="trace size when generating")
+    run.add_argument("--arrival-interval", type=float, default=30.0)
+    run.add_argument("--trace", type=Path, default=None, help="replay an existing trace JSON")
+    run.add_argument("--seed", type=int, default=2021)
+    run.add_argument("--csv", type=Path, default=None, help="export per-job metrics to CSV")
+    run.add_argument("--json", type=Path, default=None, help="export run summary to JSON")
+
+    compare = sub.add_parser("compare", help="compare ONES against the paper baselines")
+    compare.add_argument("--gpus", type=int, default=64)
+    compare.add_argument("--jobs", type=int, default=50)
+    compare.add_argument("--arrival-interval", type=float, default=30.0)
+    compare.add_argument("--seed", type=int, default=2021)
+    compare.add_argument("--csv", type=Path, default=None)
+    compare.add_argument("--json", type=Path, default=None)
+    compare.add_argument("--report", type=Path, default=None,
+                         help="write a Markdown report of the comparison")
+
+    sweep = sub.add_parser("sweep", help="scalability sweep over cluster capacities")
+    sweep.add_argument("--capacities", type=int, nargs="+", default=[16, 32, 48, 64])
+    sweep.add_argument("--jobs", type=int, default=50)
+    sweep.add_argument("--arrival-interval", type=float, default=30.0)
+    sweep.add_argument("--seed", type=int, default=2021)
+    sweep.add_argument("--json", type=Path, default=None)
+
+    figs = sub.add_parser("figures", help="regenerate the analytic figures (2, 3, 13, 14, 16)")
+    figs.add_argument("--which", choices=["fig2", "fig3", "fig13", "fig14", "fig16", "all"],
+                      default="all")
+
+    return parser
+
+
+def _experiment_config(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        num_gpus=args.gpus,
+        trace=TraceConfig(num_jobs=args.jobs, arrival_rate=1.0 / args.arrival_interval),
+        seed=args.seed,
+    )
+
+
+# --- sub-command implementations ---------------------------------------------------------------
+
+
+def cmd_trace(args) -> int:
+    config = TraceConfig(num_jobs=args.jobs, arrival_rate=1.0 / args.arrival_interval)
+    trace = TraceGenerator(config, seed=args.seed).generate()
+    save_trace(trace, args.output)
+    stats = trace_statistics(trace)
+    print(f"Wrote {len(trace)} jobs to {args.output}")
+    print(format_table([{"statistic": k, "value": round(v, 2)} for k, v in stats.items()]))
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _experiment_config(args)
+    trace = load_trace(args.trace) if args.trace else generate_trace(config)
+    scheduler = SCHEDULERS[args.scheduler](args.seed)
+    result = run_single(scheduler, trace, config)
+    summary = result.summary()
+    print(format_table([{"metric": k, "value": v} for k, v in summary.items()]))
+    if result.incomplete:
+        print(f"WARNING: {len(result.incomplete)} jobs did not finish: {result.incomplete}")
+    if args.csv:
+        print(f"per-job metrics written to {export_result_csv(result, args.csv)}")
+    if args.json:
+        print(f"summary written to {export_result_json(result, args.json)}")
+    return 0 if not result.incomplete else 1
+
+
+def cmd_compare(args) -> int:
+    config = _experiment_config(args)
+    comparison = run_comparison(config)
+    print("Average JCT (s)")
+    print(ascii_bar_chart(comparison.averages("jct"), unit="s"))
+    print()
+    print("Average execution time (s)")
+    print(ascii_bar_chart(comparison.averages("execution_time"), unit="s"))
+    print()
+    print("Average queuing time (s)")
+    print(ascii_bar_chart(comparison.averages("queuing_time"), unit="s"))
+    print()
+    print("ONES improvement over baselines (average JCT):")
+    for name, value in comparison.improvements("ONES").items():
+        print(f"  vs {name:10s}: {100 * value:5.1f}%")
+    ones = comparison.results["ONES"]
+    baselines = [r for n, r in comparison.results.items() if n != "ONES"]
+    print()
+    print("Wilcoxon tests (Table 4):")
+    print(format_table([r.as_row() for r in significance_table(ones, baselines).values()]))
+    if args.csv:
+        print(f"per-job metrics written to {export_comparison_csv(comparison, args.csv)}")
+    if args.json:
+        print(f"summary written to {export_comparison_json(comparison, args.json)}")
+    if args.report:
+        from repro.experiments.report import write_comparison_report
+
+        print(f"markdown report written to {write_comparison_report(comparison, args.report)}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    base = ExperimentConfig(
+        num_gpus=max(args.capacities),
+        trace=TraceConfig(num_jobs=args.jobs, arrival_rate=1.0 / args.arrival_interval),
+        seed=args.seed,
+    )
+    sweep = run_scalability_sweep(capacities=args.capacities, base_config=base)
+    capacities = sorted(sweep)
+    series: Dict[str, List[float]] = {}
+    for capacity in capacities:
+        for name, value in sweep[capacity].averages("jct").items():
+            series.setdefault(name, []).append(round(value, 1))
+    print("Average JCT (s) vs cluster capacity (Fig. 17)")
+    print(ascii_series(capacities, series, x_label="# GPUs"))
+    relative: Dict[str, List[float]] = {}
+    for capacity in capacities:
+        for name, value in sweep[capacity].relative_jct("ONES").items():
+            relative.setdefault(name, []).append(round(value, 2))
+    print()
+    print("Relative JCT, ONES = 1.0 (Fig. 18)")
+    print(ascii_series(capacities, relative, x_label="# GPUs"))
+    if args.json:
+        print(f"sweep written to {export_sweep_json(sweep, args.json)}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    wanted = args.which
+
+    if wanted in ("fig2", "all"):
+        data = figures.figure2_throughput_scaling()
+        print("Figure 2: throughput vs workers (images/s)")
+        print(ascii_series(
+            [int(w) for w in data["workers"]],
+            {"fixed": [round(v) for v in data["fixed_batch"]],
+             "elastic": [round(v) for v in data["elastic_batch"]]},
+            x_label="# workers",
+        ))
+        print()
+    if wanted in ("fig3", "all"):
+        data = figures.figure3_convergence_vs_gpus(epochs=120)
+        checkpoints = [29, 59, 119]
+        print("Figure 3: accuracy vs epochs (fixed local batch 256)")
+        print(ascii_series(
+            [c + 1 for c in checkpoints],
+            {k: [round(float(data[k][c]), 3) for c in checkpoints]
+             for k in ("1_gpus", "2_gpus", "4_gpus", "8_gpus")},
+            x_label="epoch",
+        ))
+        print()
+    if wanted in ("fig13", "all"):
+        data = figures.figure13_abrupt_scaling()
+        switch = int(data["switch_epoch"][0])
+        print(f"Figure 13: abrupt 256->4096 scaling at epoch {switch}: "
+              f"loss {data['scaled_batch'][switch - 1]:.2f} -> {data['scaled_batch'][switch]:.2f}")
+        print()
+    if wanted in ("fig14", "all"):
+        data = figures.figure14_gradual_scaling()
+        print(f"Figure 14: gradual scaling keeps the loss monotone "
+              f"(largest epoch-to-epoch increase: "
+              f"{max(float(b - a) for a, b in zip(data['loss'], data['loss'][1:])):.4f})")
+        print()
+    if wanted in ("fig16", "all"):
+        table = figures.figure16_overheads()
+        print("Figure 16: re-configuration overhead (seconds)")
+        print(format_table([
+            {"model": name, "elastic": round(row["elastic"], 2),
+             "checkpoint": round(row["checkpoint"], 2)}
+            for name, row in table.items()
+        ]))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the console script and ``python -m repro.cli``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "trace": cmd_trace,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "sweep": cmd_sweep,
+        "figures": cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

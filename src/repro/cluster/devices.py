@@ -1,0 +1,135 @@
+"""Hardware descriptions of GPUs and GPU servers.
+
+The numbers below describe the testbed of the paper (TACC Longhorn):
+NVIDIA V100 GPUs (16 GB HBM2, ~15.7 TFLOP/s fp32 peak, NVLink inside a
+node) on IBM Power9 servers connected by Mellanox EDR InfiniBand
+(100 Gb/s).  The throughput model in :mod:`repro.jobs.throughput` consumes
+these specs; nothing else in the library hard-codes hardware constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import GB, GIGA, TERA
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a GPU model.
+
+    Parameters
+    ----------
+    name:
+        Marketing name, e.g. ``"V100"``.
+    peak_flops:
+        Peak single-precision throughput in FLOP/s.
+    memory_bytes:
+        Device memory capacity in bytes; bounds the largest local batch a
+        worker can hold.
+    achievable_fraction:
+        Fraction of the peak that dense DL kernels reach at a large batch
+        size (DL workloads rarely exceed ~50% of fp32 peak).
+    half_saturation_batch:
+        Local batch size at which the GPU reaches half of its asymptotic
+        efficiency.  Small local batches under-utilise the device, which
+        is the effect behind Fig. 2's flat/fixed-batch curve.
+    kernel_overhead:
+        Fixed per-training-step host/launch overhead in seconds.
+    """
+
+    name: str
+    peak_flops: float
+    memory_bytes: float
+    achievable_fraction: float = 0.45
+    half_saturation_batch: float = 12.0
+    kernel_overhead: float = 0.004
+
+    def __post_init__(self) -> None:
+        check_positive(self.peak_flops, "peak_flops")
+        check_positive(self.memory_bytes, "memory_bytes")
+        check_positive(self.achievable_fraction, "achievable_fraction")
+        check_positive(self.half_saturation_batch, "half_saturation_batch")
+        check_positive(self.kernel_overhead, "kernel_overhead")
+        if self.achievable_fraction > 1.0:
+            raise ValueError("achievable_fraction must be <= 1")
+
+    def effective_flops(self, local_batch: int) -> float:
+        """Sustained FLOP/s at a given per-GPU batch size.
+
+        Efficiency follows a saturating curve ``b / (b + b_half)`` so that
+        tiny local batches (the fixed-global-batch regime of Fig. 2) leave
+        the device under-utilised.
+        """
+        if local_batch <= 0:
+            return 0.0
+        saturation = local_batch / (local_batch + self.half_saturation_batch)
+        return self.peak_flops * self.achievable_fraction * saturation
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of a GPU server.
+
+    Parameters
+    ----------
+    name:
+        Server model name.
+    gpus_per_node:
+        Number of GPUs installed in the server.
+    gpu:
+        The :class:`GPUSpec` of each installed GPU.
+    intra_node_bandwidth:
+        Peer-to-peer bandwidth between GPUs in the same server
+        (NVLink), bytes/second.
+    inter_node_bandwidth:
+        Network bandwidth between servers (EDR InfiniBand), bytes/second.
+    network_latency:
+        Per-message network latency between servers, seconds.
+    cpu_memory_bytes:
+        Host memory (used by the checkpoint overhead model).
+    host_storage_bandwidth:
+        Bandwidth to the shared filesystem (HDFS via 1 Gb/s Ethernet in
+        the paper); dominates checkpoint save/restore costs.
+    """
+
+    name: str
+    gpus_per_node: int
+    gpu: GPUSpec
+    intra_node_bandwidth: float
+    inter_node_bandwidth: float
+    network_latency: float = 5e-6
+    cpu_memory_bytes: float = 256 * GB
+    host_storage_bandwidth: float = 0.125 * GB
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.gpus_per_node, "gpus_per_node")
+        check_positive(self.intra_node_bandwidth, "intra_node_bandwidth")
+        check_positive(self.inter_node_bandwidth, "inter_node_bandwidth")
+        check_positive(self.network_latency, "network_latency")
+        check_positive(self.cpu_memory_bytes, "cpu_memory_bytes")
+        check_positive(self.host_storage_bandwidth, "host_storage_bandwidth")
+
+
+#: NVIDIA V100 (SXM2, 16 GB) as installed in TACC Longhorn nodes.
+V100 = GPUSpec(
+    name="V100",
+    peak_flops=15.7 * TERA,
+    memory_bytes=16 * GB,
+    achievable_fraction=0.45,
+    half_saturation_batch=12.0,
+    kernel_overhead=0.004,
+)
+
+#: A Longhorn GPU server: 4 × V100 with NVLink, EDR InfiniBand uplink.
+LONGHORN_NODE = NodeSpec(
+    name="longhorn",
+    gpus_per_node=4,
+    gpu=V100,
+    intra_node_bandwidth=150 * GB,
+    inter_node_bandwidth=12.5 * GB,  # 100 Gb/s EDR InfiniBand
+    network_latency=5e-6,
+    cpu_memory_bytes=256 * GB,
+    host_storage_bandwidth=0.125 * GB,  # 1 Gb/s Ethernet to HDFS
+)

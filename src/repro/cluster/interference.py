@@ -1,0 +1,77 @@
+"""Co-location interference model.
+
+The paper (§3.2.1, Eq. 4) forbids two jobs from sharing a GPU because of
+"severe interference caused by GPU sharing" (citing the Philly trace
+analysis).  ONES therefore never produces shared placements — but to make
+that design decision testable (and to support an ablation where sharing
+is permitted), this module provides a simple multiplicative slowdown
+model for co-located workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class InterferenceModel:
+    """Multiplicative throughput penalty for GPU sharing.
+
+    Parameters
+    ----------
+    sharing_penalty:
+        Fractional throughput loss per *additional* worker sharing the
+        same GPU.  With the default 0.35, two co-located workers each run
+        at ``1 / (1 + 0.35)`` ≈ 74% of their exclusive speed before the
+        fair-share division, i.e. well below half of exclusive throughput
+        each — matching the observation that sharing is rarely worth it.
+    memory_pressure_penalty:
+        Additional penalty applied when the combined working set exceeds
+        the device memory (paging/thrashing).
+    """
+
+    sharing_penalty: float = 0.35
+    memory_pressure_penalty: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_in_range(self.sharing_penalty, "sharing_penalty", 0.0, 5.0)
+        check_in_range(self.memory_pressure_penalty, "memory_pressure_penalty", 0.0, 1.0)
+
+    def slowdown(self, num_colocated: int, memory_oversubscribed: bool = False) -> float:
+        """Throughput multiplier (``<= 1``) for one worker among ``num_colocated``.
+
+        ``num_colocated`` counts *all* workers on the GPU including the one
+        being evaluated; 1 means exclusive access and returns 1.0.
+        """
+        if num_colocated < 1:
+            raise ValueError(f"num_colocated must be >= 1, got {num_colocated}")
+        if num_colocated == 1:
+            return 1.0
+        # Fair share of the device, degraded further by contention.
+        contention = 1.0 + self.sharing_penalty * (num_colocated - 1)
+        share = 1.0 / num_colocated
+        factor = share / contention
+        if memory_oversubscribed:
+            factor *= 1.0 - self.memory_pressure_penalty
+        return factor
+
+    def effective_throughputs(
+        self, exclusive_throughputs: Sequence[float], memory_oversubscribed: bool = False
+    ) -> list[float]:
+        """Apply the slowdown to each of several co-located workers."""
+        n = len(exclusive_throughputs)
+        factor = self.slowdown(max(n, 1), memory_oversubscribed)
+        return [float(x) * factor for x in exclusive_throughputs]
+
+    def aggregate_efficiency(self, num_colocated: int) -> float:
+        """Total device throughput relative to exclusive use.
+
+        Values below 1 quantify why Eq. 4 forbids sharing: the device does
+        *less* total work when shared.
+        """
+        if num_colocated < 1:
+            raise ValueError(f"num_colocated must be >= 1, got {num_colocated}")
+        return num_colocated * self.slowdown(num_colocated) * 1.0

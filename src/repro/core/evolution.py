@@ -1,0 +1,172 @@
+"""The online evolutionary search loop (Fig. 5).
+
+Each iteration takes the current population ``G_i``, derives new
+candidates with the four operators (refresh, uniform crossover, uniform
+mutation, reorder), scores every candidate by probability sampling over
+the predicted progress distributions, and keeps the best ``K`` as
+``G_{i+1}``.  The best candidate overall, ``S*``, is what ONES deploys.
+
+Because the search is *online*, the context (job roster, limits,
+progress distributions) changes between invocations; the population is
+re-indexed onto the new roster and refreshed at the start of every
+iteration so stale candidates never survive unexamined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.operators import (
+    EvolutionContext,
+    refresh,
+    reorder,
+    uniform_crossover,
+    uniform_mutation,
+)
+from repro.core.population import Population, initial_population
+from repro.core.schedule import Schedule
+from repro.core.scoring import select_top_k
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int, check_probability
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Hyper-parameters of the evolutionary search.
+
+    Parameters
+    ----------
+    population_size:
+        ``K``; the paper suggests the cluster size.  ``None`` lets the
+        scheduler pick ``min(num_gpus, 32)`` to bound per-event cost.
+    mutation_rate:
+        Per-job preemption probability θ of the uniform mutation.
+    crossover_pairs:
+        Number of parent pairs crossed per iteration (the paper uses K
+        pairs; smaller values reduce per-event cost proportionally).
+    iterations_per_invocation:
+        Evolution iterations executed each time the scheduler is invoked
+        (the search is continuous; each event advances it a little).
+    enable_crossover / enable_mutation / enable_reorder:
+        Ablation switches for the operator-ablation benchmark.
+    """
+
+    population_size: Optional[int] = None
+    mutation_rate: float = 0.2
+    crossover_pairs: Optional[int] = None
+    iterations_per_invocation: int = 1
+    enable_crossover: bool = True
+    enable_mutation: bool = True
+    enable_reorder: bool = True
+
+    def __post_init__(self) -> None:
+        if self.population_size is not None:
+            check_positive_int(self.population_size, "population_size")
+        check_probability(self.mutation_rate, "mutation_rate")
+        if self.crossover_pairs is not None:
+            check_positive_int(self.crossover_pairs, "crossover_pairs")
+        check_positive_int(self.iterations_per_invocation, "iterations_per_invocation")
+
+    def resolved_population_size(self, num_gpus: int) -> int:
+        """The effective K for a cluster of ``num_gpus`` GPUs."""
+        if self.population_size is not None:
+            return self.population_size
+        return max(4, min(num_gpus, 32))
+
+    def resolved_crossover_pairs(self, population_size: int) -> int:
+        """The effective number of crossover pairs per iteration."""
+        if self.crossover_pairs is not None:
+            return self.crossover_pairs
+        return max(1, population_size // 2)
+
+
+class EvolutionarySearch:
+    """Maintains the population across scheduler invocations."""
+
+    def __init__(self, config: Optional[EvolutionConfig] = None, seed: SeedLike = None) -> None:
+        self.config = config or EvolutionConfig()
+        self._rng = as_generator(seed)
+        self.population: Population = Population()
+        self.best_candidate: Optional[Schedule] = None
+        self.best_score: float = float("inf")
+        self.iterations_run: int = 0
+
+    # -- population lifecycle -------------------------------------------------------------------
+
+    def ensure_population(self, ctx: EvolutionContext, current: Optional[Schedule]) -> None:
+        """(Re)initialise the population if empty or the roster changed."""
+        size = self.config.resolved_population_size(ctx.num_gpus)
+        if len(self.population) == 0:
+            self.population = initial_population(ctx, size, current=current, seed=self._rng)
+            return
+        if self.population.members[0].roster != ctx.roster:
+            self.population = self.population.reindexed(ctx.roster)
+            if current is not None:
+                self.population.add(current.reindexed(ctx.roster))
+
+    # -- one iteration ------------------------------------------------------------------------------
+
+    def step(self, ctx: EvolutionContext, current: Optional[Schedule] = None) -> Tuple[Schedule, float]:
+        """Run ``iterations_per_invocation`` evolution iterations.
+
+        Returns the best candidate ``S*`` and its sampled score.
+        """
+        self.ensure_population(ctx, current)
+        best: Optional[Tuple[Schedule, float]] = None
+        for _ in range(self.config.iterations_per_invocation):
+            best = self._iterate(ctx)
+            self.iterations_run += 1
+        assert best is not None
+        self.best_candidate, self.best_score = best
+        return best
+
+    def _iterate(self, ctx: EvolutionContext) -> Tuple[Schedule, float]:
+        size = self.config.resolved_population_size(ctx.num_gpus)
+        # Refresh every member against the live job status.
+        refreshed = [refresh(member, ctx) for member in self.population]
+        candidates: List[Schedule] = list(refreshed)
+
+        # Uniform crossover of randomly chosen parent pairs.
+        if self.config.enable_crossover and len(refreshed) >= 2:
+            pairs = self.config.resolved_crossover_pairs(size)
+            for _ in range(pairs):
+                i, j = ctx.rng.choice(len(refreshed), size=2, replace=False)
+                child_a, child_b = uniform_crossover(
+                    refreshed[int(i)], refreshed[int(j)], rng=ctx.rng
+                )
+                candidates.append(fill_or_keep(child_a, ctx))
+                candidates.append(fill_or_keep(child_b, ctx))
+
+        # Uniform mutation of randomly chosen members.
+        if self.config.enable_mutation:
+            for _ in range(size):
+                idx = int(ctx.rng.integers(0, len(refreshed)))
+                candidates.append(
+                    uniform_mutation(refreshed[idx], ctx, self.config.mutation_rate)
+                )
+
+        # Reorder for locality.
+        if self.config.enable_reorder:
+            candidates = [reorder(candidate) for candidate in candidates]
+
+        # Selection: keep the best K by probability sampling (Alg. 1).
+        survivors = select_top_k(
+            candidates,
+            ctx.jobs,
+            ctx.distributions,
+            ctx.throughput_fn,
+            k=size,
+            rng=ctx.rng,
+        )
+        self.population = Population([schedule for schedule, _ in survivors])
+        return survivors[0]
+
+
+def fill_or_keep(candidate: Schedule, ctx: EvolutionContext) -> Schedule:
+    """Repair helper: crossover children may leave GPUs idle; fill them."""
+    from repro.core.operators import fill_idle_gpus
+
+    return fill_idle_gpus(candidate, ctx)

@@ -1,0 +1,287 @@
+"""The four evolution operators of §3.2.2.
+
+* **refresh** — synchronise a candidate with the real-time job status:
+  drop completed jobs, shrink jobs whose batch-size limit ``R_j`` no
+  longer justifies their GPU count, give every brand-new job one GPU
+  (taking GPUs from the longest-running jobs if none are idle), then fill
+  any remaining idle GPUs with the waiting/growing job that improves the
+  remaining-utilisation objective the most (probability sampling over the
+  per-job utilisation gains).
+* **uniform crossover** — child schedules inherit, GPU by GPU, from one
+  of two parent schedules chosen uniformly at random (Fig. 8).
+* **uniform mutation** — each job of a candidate is preempted with
+  probability θ and the freed GPUs are re-filled (Fig. 9).
+* **reorder** — workers of the same job are packed onto contiguous GPUs
+  in order of first occurrence, restoring all-reduce locality (Fig. 10).
+
+All operators are pure: they take a :class:`Schedule` plus an
+:class:`EvolutionContext` and return new :class:`Schedule` objects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.schedule import IDLE, Schedule
+from repro.core.scoring import ThroughputFn
+from repro.jobs.job import Job
+from repro.prediction.beta import BetaDistribution
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class EvolutionContext:
+    """Everything the operators need to know about the current cluster state.
+
+    Attributes
+    ----------
+    jobs:
+        Active (non-completed) jobs keyed by id.
+    roster:
+        The job ids candidate genomes index into (a fixed ordering of
+        ``jobs``).
+    limits:
+        Current batch-size limits ``R_j``.
+    distributions:
+        Predictive progress distributions per job.
+    throughput_fn:
+        Estimator ``(job, schedule) -> samples/s`` for a candidate config.
+    remaining_workload:
+        Expected remaining samples ``Y_j`` per job (predictor mean).
+    executed_time:
+        ``T_processed`` per job, used by refresh to take GPUs from the
+        longest-running jobs and by the scale-down policy.
+    num_gpus:
+        Cluster size.
+    never_started:
+        Ids of jobs that have not yet run at all (the "new jobs" the
+        refresh operation must serve first).
+    rng:
+        Random generator driving all stochastic choices.
+    """
+
+    jobs: Dict[str, Job]
+    roster: Tuple[str, ...]
+    limits: Dict[str, int]
+    distributions: Dict[str, BetaDistribution]
+    throughput_fn: ThroughputFn
+    remaining_workload: Dict[str, float]
+    executed_time: Dict[str, float]
+    num_gpus: int
+    never_started: Set[str] = field(default_factory=set)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        self.rng = as_generator(self.rng)
+        missing = [j for j in self.roster if j not in self.jobs]
+        if missing:
+            raise ValueError(f"roster references unknown jobs: {missing}")
+
+    # -- derived helpers -------------------------------------------------------------------------
+
+    def limit(self, job_id: str) -> int:
+        """Batch-size limit of ``job_id`` (defaults to its submitted batch)."""
+        job = self.jobs[job_id]
+        return int(self.limits.get(job_id, job.spec.base_batch))
+
+    def preferred_local_batch(self, job_id: str) -> int:
+        """Per-GPU batch the job was tuned for (bounded by device memory)."""
+        job = self.jobs[job_id]
+        tuned = max(1, job.spec.base_batch // max(1, job.spec.requested_gpus))
+        return int(min(tuned, job.spec.max_local_batch))
+
+    def desired_gpus(self, job_id: str) -> int:
+        """GPUs the job can usefully fill at its current limit ``R_j``.
+
+        A job's batch-size limit translates into a worker count through
+        the per-GPU batch the job was tuned for: ``c = ceil(R_j / b_j)``.
+        This is the scale at which growing the batch actually buys
+        throughput (adding GPUs) rather than just inflating the local
+        batch on a single device.
+        """
+        per_gpu = self.preferred_local_batch(job_id)
+        desired = math.ceil(self.limit(job_id) / per_gpu)
+        return int(max(1, min(desired, self.num_gpus)))
+
+    def mean_progress(self) -> Dict[str, float]:
+        """Mean ρ_j of every job's progress distribution."""
+        out = {}
+        for job_id in self.roster:
+            dist = self.distributions.get(job_id)
+            out[job_id] = dist.mean if dist is not None else 0.5
+        return out
+
+    def marginal_utilization(self, schedule: Schedule, job_id: str) -> float:
+        """The job's term of Eq. 8 under ``schedule`` with mean progress."""
+        job = self.jobs[job_id]
+        count = schedule.gpu_count(job_id)
+        if count == 0:
+            return 0.0
+        throughput = self.throughput_fn(job, schedule)
+        if throughput <= 0:
+            return float("inf")
+        remaining = self.remaining_workload.get(job_id, float(job.dataset_size))
+        return remaining * count / throughput
+
+
+# --- refresh -------------------------------------------------------------------------------------------
+
+
+def refresh(schedule: Schedule, ctx: EvolutionContext) -> Schedule:
+    """Bring a candidate in line with the real-time job status (§3.2.2)."""
+    # (1) Completed jobs disappear because the context roster excludes them.
+    candidate = schedule.reindexed(ctx.roster)
+    genome = np.array(candidate.genome)
+
+    # (2) Shrink jobs whose limit no longer justifies their GPU count.
+    for job_id in candidate.placed_jobs():
+        desired = ctx.desired_gpus(job_id)
+        gpus = candidate.gpus_of(job_id)
+        if len(gpus) > desired:
+            for gpu in gpus[desired:]:
+                genome[gpu] = IDLE
+    candidate = candidate.with_genome(genome)
+
+    # (3) Every brand-new job gets one GPU, taking GPUs from the
+    # longest-running jobs when none are idle (starvation avoidance).
+    new_jobs = [
+        job_id
+        for job_id in ctx.roster
+        if job_id in ctx.never_started and candidate.gpu_count(job_id) == 0
+    ]
+    if new_jobs:
+        genome = np.array(candidate.genome)
+        idle = [int(g) for g in np.nonzero(genome == IDLE)[0]]
+        victims = sorted(
+            (j for j in candidate.placed_jobs() if j not in ctx.never_started),
+            key=lambda j: ctx.executed_time.get(j, 0.0),
+            reverse=True,
+        )
+        for job_id in new_jobs:
+            if not idle:
+                # Take one GPU from the job with the largest executed time
+                # that still has a GPU to give.
+                for victim in victims:
+                    victim_gpus = [
+                        int(g)
+                        for g in np.nonzero(genome == ctx.roster.index(victim))[0]
+                    ]
+                    if victim_gpus:
+                        idle.append(victim_gpus[-1])
+                        genome[victim_gpus[-1]] = IDLE
+                        break
+            if not idle:
+                break  # nothing left to take; remaining new jobs must wait
+            gpu = idle.pop(0)
+            genome[gpu] = ctx.roster.index(job_id)
+        candidate = candidate.with_genome(genome)
+
+    # (4) Fill remaining idle GPUs with the most beneficial resume/grow moves.
+    return fill_idle_gpus(candidate, ctx)
+
+
+def fill_idle_gpus(schedule: Schedule, ctx: EvolutionContext) -> Schedule:
+    """Fill idle GPUs by resuming waiting jobs or growing running ones.
+
+    Each round considers every waiting job (resumed at up to its desired
+    GPU count) and every running job that can still grow, computes the
+    utilisation change of the move under the expected progress (the
+    ``Δφ_j·Y_j`` weights of §3.2.2), and applies the best move.  Rounds
+    repeat until no GPU is idle or no job can use one.
+    """
+    candidate = schedule
+    while True:
+        idle = candidate.idle_gpus()
+        if not idle:
+            return candidate
+        moves: List[Tuple[float, Schedule]] = []
+        for job_id in ctx.roster:
+            count = candidate.gpu_count(job_id)
+            desired = ctx.desired_gpus(job_id)
+            if count >= desired and count > 0:
+                continue
+            take = min(len(idle), desired - count) if count > 0 else min(len(idle), desired)
+            if take <= 0:
+                continue
+            genome = np.array(candidate.genome)
+            for gpu in idle[:take]:
+                genome[gpu] = ctx.roster.index(job_id)
+            grown = candidate.with_genome(genome)
+            before = ctx.marginal_utilization(candidate, job_id)
+            after = ctx.marginal_utilization(grown, job_id)
+            # Lower is better: resuming a short job adds little utilisation,
+            # growing a job that scales well reduces it outright.
+            moves.append((after - before, grown))
+        if not moves:
+            return candidate
+        moves.sort(key=lambda item: item[0])
+        candidate = moves[0][1]
+
+
+# --- uniform crossover -------------------------------------------------------------------------------------
+
+
+def uniform_crossover(
+    parent_a: Schedule, parent_b: Schedule, rng: SeedLike = None
+) -> Tuple[Schedule, Schedule]:
+    """Uniform crossover of two parents (Fig. 8).
+
+    For every GPU independently, one child inherits the gene of parent A
+    and the other the gene of parent B (which child gets which is a fair
+    coin flip).  Parents must share the same roster and cluster size.
+    """
+    if parent_a.roster != parent_b.roster:
+        raise ValueError("crossover parents must share the same roster")
+    if parent_a.num_gpus != parent_b.num_gpus:
+        raise ValueError("crossover parents must cover the same number of GPUs")
+    rng = as_generator(rng)
+    mask = rng.integers(0, 2, size=parent_a.num_gpus).astype(bool)
+    child1 = np.where(mask, parent_a.genome, parent_b.genome)
+    child2 = np.where(mask, parent_b.genome, parent_a.genome)
+    return parent_a.with_genome(child1), parent_a.with_genome(child2)
+
+
+# --- uniform mutation -----------------------------------------------------------------------------------------
+
+
+def uniform_mutation(
+    schedule: Schedule, ctx: EvolutionContext, mutation_rate: float = 0.2
+) -> Schedule:
+    """Uniform mutation (Fig. 9): random preemption followed by re-filling."""
+    if not 0.0 <= mutation_rate <= 1.0:
+        raise ValueError(f"mutation_rate must be in [0, 1], got {mutation_rate}")
+    genome = np.array(schedule.genome)
+    for job_id in schedule.placed_jobs():
+        if ctx.rng.random() < mutation_rate:
+            idx = ctx.roster.index(job_id) if job_id in ctx.roster else None
+            if idx is not None:
+                genome[genome == idx] = IDLE
+    mutated = schedule.with_genome(genome)
+    return fill_idle_gpus(mutated, ctx)
+
+
+# --- reorder ----------------------------------------------------------------------------------------------------
+
+
+def reorder(schedule: Schedule) -> Schedule:
+    """Pack each job's workers contiguously in order of first occurrence (Fig. 10)."""
+    order: List[int] = []
+    seen: Set[int] = set()
+    counts: Dict[int, int] = {}
+    for value in schedule.genome:
+        value = int(value)
+        if value == IDLE:
+            continue
+        counts[value] = counts.get(value, 0) + 1
+        if value not in seen:
+            seen.add(value)
+            order.append(value)
+    packed: List[int] = []
+    for value in order:
+        packed.extend([value] * counts[value])
+    packed.extend([IDLE] * (schedule.num_gpus - len(packed)))
+    return schedule.with_genome(np.asarray(packed, dtype=np.int64))

@@ -1,0 +1,132 @@
+"""Candidate scoring: the SRUF objective and Algorithm 1.
+
+The score of a candidate schedule is the total *remaining utilisation*
+of its running jobs (Eq. 8):
+
+``score(S) = Σ_j  (Y_processed_j · c_j / X_j) · (1/ρ_j − 1)``
+
+where ``c_j`` and ``X_j`` are the GPU count and throughput the candidate
+gives job ``j`` and ``ρ_j`` is a training-progress sample drawn from the
+job's predictive Beta distribution.  Algorithm 1 draws one ρ per job,
+scores every candidate with those shared samples, and picks the smallest
+score; selection keeps the best K candidates the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.jobs.job import Job
+from repro.prediction.beta import BetaDistribution
+from repro.utils.rng import SeedLike, as_generator
+
+#: Signature of the throughput estimator used during scoring:
+#: ``(job, schedule) -> samples per second``.
+ThroughputFn = Callable[[Job, Schedule], float]
+
+
+def sample_progress(
+    jobs: Mapping[str, Job],
+    distributions: Mapping[str, BetaDistribution],
+    rng: SeedLike = None,
+) -> Dict[str, float]:
+    """Draw one progress sample ρ_j per job (line 2 of Algorithm 1)."""
+    rng = as_generator(rng)
+    samples: Dict[str, float] = {}
+    for job_id in jobs:
+        dist = distributions.get(job_id)
+        if dist is None:
+            dist = BetaDistribution(1.0, 1.0)
+        samples[job_id] = dist.sample(rng)
+    return samples
+
+
+def candidate_score(
+    schedule: Schedule,
+    jobs: Mapping[str, Job],
+    progress: Mapping[str, float],
+    throughput_fn: ThroughputFn,
+) -> float:
+    """Remaining-utilisation score of one candidate (Eq. 8, lower is better)."""
+    total = 0.0
+    for job_id in schedule.placed_jobs():
+        job = jobs[job_id]
+        count = schedule.gpu_count(job_id)
+        if count == 0:
+            continue
+        rho = float(np.clip(progress.get(job_id, 0.5), 1e-9, 1.0 - 1e-9))
+        processed = job.samples_processed
+        if processed <= 0:
+            # Brand-new jobs have no measured history; Eq. 8's literal term
+            # is zero, which is exactly the preferential treatment of new
+            # jobs the refresh operation relies on.
+            continue
+        throughput = throughput_fn(job, schedule)
+        if throughput <= 0:
+            total += float("inf")
+            continue
+        remaining = processed * (1.0 / rho - 1.0)
+        total += remaining * count / throughput
+    return total
+
+
+def score_candidates(
+    candidates: Sequence[Schedule],
+    jobs: Mapping[str, Job],
+    progress: Mapping[str, float],
+    throughput_fn: ThroughputFn,
+) -> np.ndarray:
+    """Scores of several candidates under shared progress samples."""
+    return np.asarray(
+        [candidate_score(c, jobs, progress, throughput_fn) for c in candidates],
+        dtype=float,
+    )
+
+
+def probability_sample(
+    candidates: Sequence[Schedule],
+    jobs: Mapping[str, Job],
+    distributions: Mapping[str, BetaDistribution],
+    throughput_fn: ThroughputFn,
+    rng: SeedLike = None,
+) -> Tuple[Schedule, float]:
+    """Algorithm 1: pick the candidate with the smallest sampled score."""
+    if not candidates:
+        raise ValueError("probability_sample requires at least one candidate")
+    rng = as_generator(rng)
+    progress = sample_progress(jobs, distributions, rng)
+    scores = score_candidates(candidates, jobs, progress, throughput_fn)
+    best = int(np.argmin(scores))
+    return candidates[best], float(scores[best])
+
+
+def select_top_k(
+    candidates: Sequence[Schedule],
+    jobs: Mapping[str, Job],
+    distributions: Mapping[str, BetaDistribution],
+    throughput_fn: ThroughputFn,
+    k: int,
+    rng: SeedLike = None,
+) -> List[Tuple[Schedule, float]]:
+    """Selection step: keep the K candidates with the best sampled scores.
+
+    De-duplicates identical genomes first so the surviving population
+    keeps some diversity, then returns ``[(schedule, score), ...]``
+    ordered from best (smallest score) to worst.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not candidates:
+        raise ValueError("select_top_k requires at least one candidate")
+    rng = as_generator(rng)
+    unique: Dict[Tuple[int, ...], Schedule] = {}
+    for candidate in candidates:
+        unique.setdefault(candidate.key(), candidate)
+    pool = list(unique.values())
+    progress = sample_progress(jobs, distributions, rng)
+    scores = score_candidates(pool, jobs, progress, throughput_fn)
+    order = np.argsort(scores, kind="stable")[:k]
+    return [(pool[int(i)], float(scores[int(i)])) for i in order]

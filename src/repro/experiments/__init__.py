@@ -1,0 +1,31 @@
+"""Experiment harness: configurations and runners for every table and figure.
+
+* :mod:`repro.experiments.config` — experiment configuration objects.
+* :mod:`repro.experiments.runner` — run one scheduler (or all of them)
+  over a shared trace; scalability sweeps.
+* :mod:`repro.experiments.figures` — generators that return the data
+  behind each figure/table of the paper; the benchmark scripts call
+  these and print the results.
+"""
+
+from repro.experiments.config import ExperimentConfig, default_schedulers
+from repro.experiments.runner import (
+    ComparisonResult,
+    run_comparison,
+    run_scalability_sweep,
+    run_single,
+)
+from repro.experiments.report import build_comparison_report, write_comparison_report
+from repro.experiments import figures
+
+__all__ = [
+    "ExperimentConfig",
+    "default_schedulers",
+    "ComparisonResult",
+    "run_comparison",
+    "run_scalability_sweep",
+    "run_single",
+    "build_comparison_report",
+    "write_comparison_report",
+    "figures",
+]

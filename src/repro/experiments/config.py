@@ -1,0 +1,76 @@
+"""Experiment configuration objects.
+
+The main evaluation of the paper (Fig. 15, Table 4) runs a 50-job
+Table-2 trace on a 64-GPU Longhorn cluster against four schedulers; the
+scalability study (Fig. 17/18) repeats it at 16/32/48/64 GPUs.  The
+defaults below mirror that setup but every knob (trace size, arrival
+rate, cluster size, schedulers, seeds) is configurable so the test suite
+can run scaled-down versions quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.base import SchedulerBase
+from repro.baselines.drl import DRLScheduler
+from repro.baselines.optimus import OptimusScheduler
+from repro.baselines.tiresias import TiresiasScheduler
+from repro.core.evolution import EvolutionConfig
+from repro.core.ones_scheduler import ONESConfig, ONESScheduler
+from repro.sim.simulator import SimulationConfig
+from repro.utils.validation import check_positive, check_positive_int
+from repro.workload.trace import TraceConfig
+
+#: Factory signature: ``(seed) -> SchedulerBase``.
+SchedulerFactory = Callable[[int], SchedulerBase]
+
+
+def default_schedulers(
+    evolution: Optional[EvolutionConfig] = None,
+) -> Dict[str, SchedulerFactory]:
+    """The four schedulers of the paper's evaluation, as factories.
+
+    Factories (rather than instances) are used because every scheduler
+    must be constructed fresh per run — schedulers are stateful.
+    """
+    evolution = evolution or EvolutionConfig()
+
+    return {
+        "ONES": lambda seed: ONESScheduler(ONESConfig(evolution=evolution), seed=seed),
+        "DRL": lambda seed: DRLScheduler(seed=seed, greedy=True),
+        "Tiresias": lambda seed: TiresiasScheduler(),
+        "Optimus": lambda seed: OptimusScheduler(),
+    }
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration of one trace-driven comparison experiment."""
+
+    num_gpus: int = 64
+    trace: TraceConfig = field(default_factory=TraceConfig)
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    seed: int = 2021
+    schedulers: Optional[Dict[str, SchedulerFactory]] = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_gpus, "num_gpus")
+        check_positive_int(self.seed, "seed")
+
+    def scheduler_factories(self) -> Dict[str, SchedulerFactory]:
+        """The scheduler factories to compare (defaults to the paper's four)."""
+        if self.schedulers is not None:
+            return self.schedulers
+        return default_schedulers()
+
+    @classmethod
+    def small(cls, num_gpus: int = 16, num_jobs: int = 10, seed: int = 7) -> "ExperimentConfig":
+        """A scaled-down configuration suitable for unit/integration tests."""
+        return cls(
+            num_gpus=num_gpus,
+            trace=TraceConfig(num_jobs=num_jobs, arrival_rate=1.0 / 15.0),
+            simulation=SimulationConfig(max_time=24 * 3600.0),
+            seed=seed,
+        )

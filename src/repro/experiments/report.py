@@ -1,0 +1,144 @@
+"""Markdown report generation for comparison experiments.
+
+``build_comparison_report`` turns a :class:`ComparisonResult` into a
+self-contained Markdown document (headline averages, distributions,
+improvements, Wilcoxon tests, per-scheduler telemetry), which the CLI can
+write next to the exported CSV/JSON artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.metrics import compare_results, completion_fraction_within
+from repro.analysis.stats import significance_table
+from repro.experiments.runner import ComparisonResult
+from repro.sim.telemetry import summarize_run
+
+PathLike = Union[str, Path]
+
+
+def _markdown_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "_(no data)_"
+    columns = list(rows[0].keys())
+    lines = ["| " + " | ".join(str(c) for c in columns) + " |",
+             "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:.2f}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def build_comparison_report(
+    comparison: ComparisonResult,
+    reference: str = "ONES",
+    title: str = "Scheduler comparison report",
+) -> str:
+    """Build the full Markdown report for a comparison run."""
+    results = list(comparison.results.values())
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(
+        f"- Cluster: **{comparison.config.num_gpus} GPUs** "
+        f"({comparison.config.num_gpus // 4} Longhorn-style nodes)"
+    )
+    lines.append(f"- Trace: **{len(comparison.trace)} jobs**, seed {comparison.config.seed}")
+    lines.append(f"- Schedulers: {', '.join(comparison.results)}")
+    lines.append("")
+
+    # Headline averages.
+    lines.append("## Average metrics")
+    lines.append("")
+    rows = []
+    for name, result in comparison.results.items():
+        rows.append(
+            {
+                "scheduler": name,
+                "avg JCT (s)": result.average_jct,
+                "avg execution (s)": result.average_execution_time,
+                "avg queuing (s)": result.average_queuing_time,
+                "GPU utilisation": result.gpu_utilization,
+                "incomplete jobs": len(result.incomplete),
+            }
+        )
+    lines.append(_markdown_table(rows))
+    lines.append("")
+
+    # Distributions.
+    lines.append("## JCT distribution")
+    lines.append("")
+    summaries = compare_results(results, "jct")
+    lines.append(
+        _markdown_table(
+            [
+                {
+                    "scheduler": name,
+                    "p25": s.stats.p25,
+                    "median": s.stats.median,
+                    "p75": s.stats.p75,
+                    "max": s.stats.maximum,
+                    "jobs within 200 s": f"{100 * s.fraction_within(200.0):.0f}%",
+                }
+                for name, s in summaries.items()
+            ]
+        )
+    )
+    lines.append("")
+
+    # Improvements + significance relative to the reference scheduler.
+    if reference in comparison.results:
+        lines.append(f"## {reference} vs the baselines")
+        lines.append("")
+        improvements = comparison.improvements(reference)
+        ref_result = comparison.results[reference]
+        baselines = [r for n, r in comparison.results.items() if n != reference]
+        tests = significance_table(ref_result, baselines)
+        rows = []
+        for name, value in improvements.items():
+            report = tests.get(name)
+            rows.append(
+                {
+                    "baseline": name,
+                    "avg JCT reduction": f"{100 * value:.1f}%",
+                    "p (two-sided)": report.p_two_sided if report else float("nan"),
+                    "p (one-sided negative)": report.p_one_sided_greater if report else float("nan"),
+                    "significant": "yes" if report and report.ours_is_smaller else "no",
+                }
+            )
+        lines.append(_markdown_table(rows))
+        lines.append("")
+
+    # Telemetry.
+    lines.append("## Cluster telemetry")
+    lines.append("")
+    lines.append(
+        _markdown_table(
+            [summarize_run(result).as_dict() for result in comparison.results.values()]
+        )
+    )
+    lines.append("")
+    lines.append(
+        "_Fraction-of-jobs and utilisation figures are computed from the same "
+        "simulation traces as the averages above._"
+    )
+    return "\n".join(lines)
+
+
+def write_comparison_report(
+    comparison: ComparisonResult,
+    path: PathLike,
+    reference: str = "ONES",
+    title: str = "Scheduler comparison report",
+) -> Path:
+    """Build the report and write it to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(build_comparison_report(comparison, reference=reference, title=title) + "\n")
+    return path

@@ -1,0 +1,110 @@
+"""Experiment runners.
+
+``run_single`` replays one trace under one scheduler; ``run_comparison``
+replays the *same* trace under several schedulers (the Fig. 15 / Table 4
+setup); ``run_scalability_sweep`` repeats the comparison across cluster
+capacities (Fig. 17/18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.metrics import improvement_over, relative_jct
+from repro.baselines.base import SchedulerBase
+from repro.cluster.topology import make_longhorn_cluster
+from repro.experiments.config import ExperimentConfig, SchedulerFactory
+from repro.jobs.job import JobSpec
+from repro.sim.simulator import ClusterSimulator, SimulationResult
+from repro.workload.trace import TraceGenerator
+
+
+def run_single(
+    scheduler: SchedulerBase,
+    trace: Sequence[JobSpec],
+    config: ExperimentConfig,
+) -> SimulationResult:
+    """Replay ``trace`` under ``scheduler`` on a cluster of ``config.num_gpus``."""
+    topology = make_longhorn_cluster(config.num_gpus)
+    simulator = ClusterSimulator(
+        topology=topology,
+        scheduler=scheduler,
+        trace=list(trace),
+        config=config.simulation,
+    )
+    return simulator.run()
+
+
+@dataclass
+class ComparisonResult:
+    """Results of running the same trace under several schedulers."""
+
+    config: ExperimentConfig
+    trace: List[JobSpec]
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    def averages(self, metric: str = "jct") -> Dict[str, float]:
+        """Average of ``metric`` per scheduler."""
+        from repro.analysis.metrics import metric_values
+
+        return {
+            name: float(metric_values(result, metric).mean())
+            for name, result in self.results.items()
+        }
+
+    def improvements(self, reference: str = "ONES", metric: str = "jct") -> Dict[str, float]:
+        """Relative improvement of ``reference`` over every other scheduler."""
+        if reference not in self.results:
+            raise KeyError(f"{reference!r} is not part of this comparison")
+        ref = self.results[reference]
+        return {
+            name: improvement_over(ref, result, metric)
+            for name, result in self.results.items()
+            if name != reference
+        }
+
+    def relative_jct(self, reference: str = "ONES") -> Dict[str, float]:
+        """Per-scheduler average JCT normalised to ``reference`` (Fig. 18)."""
+        return relative_jct(self.results, reference)
+
+
+def generate_trace(config: ExperimentConfig) -> List[JobSpec]:
+    """Generate the shared trace of an experiment from its configuration."""
+    return TraceGenerator(config.trace, seed=config.seed).generate()
+
+
+def run_comparison(
+    config: Optional[ExperimentConfig] = None,
+    trace: Optional[Sequence[JobSpec]] = None,
+    schedulers: Optional[Mapping[str, SchedulerFactory]] = None,
+) -> ComparisonResult:
+    """Run every scheduler on the same trace and cluster."""
+    config = config or ExperimentConfig()
+    trace = list(trace) if trace is not None else generate_trace(config)
+    factories = dict(schedulers) if schedulers is not None else config.scheduler_factories()
+    comparison = ComparisonResult(config=config, trace=list(trace))
+    for name, factory in factories.items():
+        scheduler = factory(config.seed)
+        comparison.results[name] = run_single(scheduler, trace, config)
+    return comparison
+
+
+def run_scalability_sweep(
+    capacities: Sequence[int] = (16, 32, 48, 64),
+    base_config: Optional[ExperimentConfig] = None,
+    schedulers: Optional[Mapping[str, SchedulerFactory]] = None,
+) -> Dict[int, ComparisonResult]:
+    """Repeat the comparison for several cluster capacities (Fig. 17/18)."""
+    base_config = base_config or ExperimentConfig()
+    sweep: Dict[int, ComparisonResult] = {}
+    for capacity in capacities:
+        config = ExperimentConfig(
+            num_gpus=int(capacity),
+            trace=base_config.trace,
+            simulation=base_config.simulation,
+            seed=base_config.seed,
+            schedulers=base_config.schedulers,
+        )
+        sweep[int(capacity)] = run_comparison(config, schedulers=schedulers)
+    return sweep

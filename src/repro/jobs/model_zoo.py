@@ -1,0 +1,126 @@
+"""The neural-network model catalogue used by the evaluation trace.
+
+Table 2 of the paper draws workloads from AlexNet, ResNet-18/50, VGG-16,
+GoogleNet, Inception-V3 and BERT (plus an LSTM in the overhead study of
+Fig. 16).  The scheduler only needs three facts about a model:
+
+* its parameter volume (bytes moved per all-reduce),
+* its training cost per sample (FLOPs for forward + backward),
+* the largest per-GPU batch that fits in device memory.
+
+The figures below are standard published numbers (parameters, forward
+FLOPs at the model's native input resolution, multiplied by 3 for the
+backward pass).  Workload definitions can scale the per-sample FLOPs for
+smaller inputs (e.g. CIFAR-10's 32×32 images) via
+:meth:`ModelSpec.scaled`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.utils.units import GIGA, MB
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Scheduler-visible description of a neural network.
+
+    Parameters
+    ----------
+    name:
+        Model name as it appears in Table 2 / Fig. 16.
+    num_parameters:
+        Trainable parameter count.
+    flops_per_sample:
+        Training FLOPs per sample (forward + backward) at the native
+        input size.
+    max_local_batch:
+        Largest per-GPU batch size that fits in a 16 GB V100 for this
+        model at its native input size.
+    bytes_per_parameter:
+        4 for fp32 gradients (the all-reduce payload).
+    checkpoint_bytes:
+        Size of a model + optimizer-state checkpoint, which drives the
+        checkpoint-based migration overhead (Fig. 16).
+    """
+
+    name: str
+    num_parameters: float
+    flops_per_sample: float
+    max_local_batch: int
+    bytes_per_parameter: float = 4.0
+    checkpoint_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_parameters, "num_parameters")
+        check_positive(self.flops_per_sample, "flops_per_sample")
+        check_positive_int(self.max_local_batch, "max_local_batch")
+        check_positive(self.bytes_per_parameter, "bytes_per_parameter")
+        if self.checkpoint_bytes <= 0:
+            # Model weights + optimizer momentum/variance (Adam ≈ 3×).
+            object.__setattr__(
+                self,
+                "checkpoint_bytes",
+                3.0 * self.num_parameters * self.bytes_per_parameter,
+            )
+
+    @property
+    def gradient_bytes(self) -> float:
+        """Bytes exchanged per all-reduce (one full gradient)."""
+        return self.num_parameters * self.bytes_per_parameter
+
+    def scaled(self, compute_scale: float, name_suffix: str = "") -> "ModelSpec":
+        """Return a copy with per-sample FLOPs scaled by ``compute_scale``.
+
+        Smaller inputs (CIFAR-10, short NLP sequences) reduce the compute
+        per sample while leaving the parameter volume unchanged, which
+        also lets a larger local batch fit in memory.
+        """
+        check_positive(compute_scale, "compute_scale")
+        new_batch = max(1, int(round(self.max_local_batch / max(compute_scale, 1e-6))))
+        # Device memory, not arithmetic, bounds the batch; cap the growth.
+        new_batch = min(new_batch, self.max_local_batch * 8)
+        return replace(
+            self,
+            name=self.name + name_suffix,
+            flops_per_sample=self.flops_per_sample * compute_scale,
+            max_local_batch=new_batch,
+        )
+
+
+def _spec(name, params_m, fwd_gflops, max_local_batch):
+    """Helper: build a spec from params (millions) and forward GFLOPs."""
+    return ModelSpec(
+        name=name,
+        num_parameters=params_m * 1e6,
+        flops_per_sample=3.0 * fwd_gflops * GIGA,  # fwd + bwd ≈ 3× fwd
+        max_local_batch=max_local_batch,
+    )
+
+
+#: Published model characteristics at native input resolution.
+MODEL_ZOO: Dict[str, ModelSpec] = {
+    "alexnet": _spec("alexnet", params_m=61.1, fwd_gflops=0.72, max_local_batch=512),
+    "resnet18": _spec("resnet18", params_m=11.7, fwd_gflops=1.82, max_local_batch=256),
+    "resnet50": _spec("resnet50", params_m=25.6, fwd_gflops=4.12, max_local_batch=128),
+    "vgg16": _spec("vgg16", params_m=138.4, fwd_gflops=15.5, max_local_batch=96),
+    "googlenet": _spec("googlenet", params_m=6.6, fwd_gflops=1.50, max_local_batch=256),
+    "inceptionv3": _spec("inceptionv3", params_m=23.8, fwd_gflops=5.73, max_local_batch=96),
+    "bert": _spec("bert", params_m=110.0, fwd_gflops=11.2, max_local_batch=32),
+    "lstm": _spec("lstm", params_m=9.8, fwd_gflops=0.95, max_local_batch=128),
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model by (case-insensitive) name.
+
+    Raises :class:`KeyError` listing the available names when not found.
+    """
+    key = name.strip().lower()
+    if key not in MODEL_ZOO:
+        available = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown model {name!r}; available models: {available}")
+    return MODEL_ZOO[key]

@@ -1,0 +1,203 @@
+"""Data-parallel training throughput model.
+
+The training speed of a distributed DL job is the quantity every
+scheduler in the paper reasons about.  A synchronous data-parallel step
+costs
+
+``step time = max_i(compute time of worker i) + all-reduce time``
+
+* Per-worker compute time grows with the local batch but the GPU is only
+  efficient once the local batch is large enough
+  (:meth:`repro.cluster.devices.GPUSpec.effective_flops`).
+* The all-reduce follows the standard ring cost model:
+  ``2 (c-1)/c · gradient_bytes / bottleneck_bandwidth`` plus per-hop
+  latency, where the bottleneck bandwidth depends on whether the ring
+  stays inside one server (NVLink) or crosses the network (InfiniBand).
+
+Together these produce the behaviour of Fig. 2: with a *fixed* global
+batch, adding workers shrinks the local batch (losing GPU efficiency)
+while the communication term grows, so throughput peaks at a small
+worker count and then degrades; with an *elastic* global batch the local
+batch stays large and throughput keeps improving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.devices import GPUSpec
+from repro.cluster.topology import ClusterTopology
+from repro.jobs.model_zoo import ModelSpec
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StepTimeBreakdown:
+    """Decomposition of one synchronous training step (seconds)."""
+
+    compute_time: float
+    communication_time: float
+
+    @property
+    def total(self) -> float:
+        """End-to-end step time."""
+        return self.compute_time + self.communication_time
+
+
+class ThroughputModel:
+    """Analytic throughput model for synchronous data-parallel training.
+
+    Parameters
+    ----------
+    topology:
+        The cluster the job runs on; provides per-GPU specs and the
+        bandwidth of the all-reduce ring for a given placement.
+    allreduce_efficiency:
+        Fraction of the theoretical ring bandwidth NCCL achieves in
+        practice (protocol overheads, imperfect overlap).
+    """
+
+    def __init__(
+        self, topology: ClusterTopology, allreduce_efficiency: float = 0.7
+    ) -> None:
+        check_positive(allreduce_efficiency, "allreduce_efficiency")
+        if allreduce_efficiency > 1.0:
+            raise ValueError("allreduce_efficiency must be <= 1")
+        self._topology = topology
+        self._allreduce_efficiency = float(allreduce_efficiency)
+
+    # -- elementary costs ----------------------------------------------------------
+
+    def compute_time(
+        self, model: ModelSpec, local_batch: int, gpu: Optional[GPUSpec] = None
+    ) -> float:
+        """Forward+backward time of one worker for ``local_batch`` samples."""
+        if local_batch <= 0:
+            return 0.0
+        gpu = gpu or self._topology.gpu_spec
+        flops = model.flops_per_sample * local_batch
+        return flops / gpu.effective_flops(local_batch) + gpu.kernel_overhead
+
+    def allreduce_time(self, model: ModelSpec, gpu_ids: Sequence[int]) -> float:
+        """Ring all-reduce time of one gradient over ``gpu_ids``."""
+        gpu_ids = list(gpu_ids)
+        num_workers = len(gpu_ids)
+        if num_workers <= 1:
+            return 0.0
+        bandwidth = self._topology.ring_bandwidth(gpu_ids) * self._allreduce_efficiency
+        latency = self._topology.ring_latency(gpu_ids)
+        volume_term = 2.0 * (num_workers - 1) / num_workers * model.gradient_bytes
+        return volume_term / bandwidth + 2.0 * (num_workers - 1) * latency
+
+    # -- step time / throughput -----------------------------------------------------
+
+    def step_time(
+        self,
+        model: ModelSpec,
+        local_batches: Sequence[int],
+        gpu_ids: Sequence[int],
+    ) -> StepTimeBreakdown:
+        """Time of one synchronous step for the given worker configuration.
+
+        ``local_batches[i]`` is the batch handled by the worker on
+        ``gpu_ids[i]``; the slowest worker gates the step (stragglers).
+        """
+        if len(local_batches) != len(gpu_ids):
+            raise ValueError(
+                f"local_batches ({len(local_batches)}) and gpu_ids ({len(gpu_ids)}) "
+                "must have the same length"
+            )
+        if len(gpu_ids) == 0 or sum(local_batches) <= 0:
+            return StepTimeBreakdown(0.0, 0.0)
+        compute = max(
+            self.compute_time(model, b, self._topology.gpu(int(g)).spec)
+            for b, g in zip(local_batches, gpu_ids)
+        )
+        comm = self.allreduce_time(model, gpu_ids)
+        return StepTimeBreakdown(compute_time=compute, communication_time=comm)
+
+    def throughput(
+        self,
+        model: ModelSpec,
+        local_batches: Sequence[int],
+        gpu_ids: Sequence[int],
+    ) -> float:
+        """Global training throughput in samples/second for a configuration."""
+        breakdown = self.step_time(model, local_batches, gpu_ids)
+        global_batch = float(sum(local_batches))
+        if global_batch <= 0 or breakdown.total <= 0:
+            return 0.0
+        return global_batch / breakdown.total
+
+    def throughput_even(
+        self, model: ModelSpec, global_batch: int, gpu_ids: Sequence[int]
+    ) -> float:
+        """Throughput when ``global_batch`` is split as evenly as possible."""
+        gpu_ids = list(gpu_ids)
+        if not gpu_ids or global_batch <= 0:
+            return 0.0
+        local = split_batch(global_batch, len(gpu_ids))
+        return self.throughput(model, local, gpu_ids)
+
+    # -- derived helpers ---------------------------------------------------------------
+
+    def epoch_time(
+        self,
+        model: ModelSpec,
+        dataset_size: int,
+        local_batches: Sequence[int],
+        gpu_ids: Sequence[int],
+    ) -> float:
+        """Wall-clock time of one epoch over ``dataset_size`` samples."""
+        rate = self.throughput(model, local_batches, gpu_ids)
+        if rate <= 0:
+            return float("inf")
+        return dataset_size / rate
+
+    def scaling_curve(
+        self,
+        model: ModelSpec,
+        worker_counts: Sequence[int],
+        global_batch: Optional[int] = None,
+        local_batch: Optional[int] = None,
+    ) -> np.ndarray:
+        """Throughput across worker counts (Fig. 2 generator).
+
+        Exactly one of ``global_batch`` (fixed-global-batch curve) or
+        ``local_batch`` (elastic curve: global batch grows with workers)
+        must be provided.  Workers are packed onto GPUs 0..c-1, matching
+        the locality-aware placement of a well-packed job.
+        """
+        if (global_batch is None) == (local_batch is None):
+            raise ValueError("provide exactly one of global_batch / local_batch")
+        rates = []
+        for count in worker_counts:
+            count = int(count)
+            if count < 1:
+                raise ValueError("worker counts must be >= 1")
+            gpu_ids = list(range(count))
+            if global_batch is not None:
+                rates.append(self.throughput_even(model, int(global_batch), gpu_ids))
+            else:
+                rates.append(
+                    self.throughput(model, [int(local_batch)] * count, gpu_ids)
+                )
+        return np.asarray(rates, dtype=float)
+
+
+def split_batch(global_batch: int, num_workers: int) -> list[int]:
+    """Split ``global_batch`` across ``num_workers`` as evenly as possible.
+
+    The first ``global_batch % num_workers`` workers receive one extra
+    sample.  Every worker receives at least 0; callers that require ≥1
+    sample per worker should not ask for more workers than samples.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if global_batch < 0:
+        raise ValueError(f"global_batch must be >= 0, got {global_batch}")
+    base, extra = divmod(int(global_batch), num_workers)
+    return [base + (1 if i < extra else 0) for i in range(num_workers)]

@@ -1,0 +1,118 @@
+"""Beta distributions for modelling training-progress uncertainty.
+
+The paper chooses Beta distributions because progress lives in (0, 1),
+the shape is flexible, and ``Be(α, β)`` is unimodal when ``α, β > 1``
+(which the threshold functions in Eq. 6 guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+from scipy import stats
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class BetaDistribution:
+    """A Beta distribution with shape parameters clamped to ``>= 1``.
+
+    Eq. 6 applies a threshold so that ``α, β >= 1``; we enforce the same
+    guard at construction.  All the usual queries (mean, variance,
+    quantiles, sampling, log-pdf) are provided.
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        alpha = float(self.alpha)
+        beta = float(self.beta)
+        if not np.isfinite(alpha) or not np.isfinite(beta):
+            raise ValueError(f"Beta parameters must be finite, got ({alpha}, {beta})")
+        object.__setattr__(self, "alpha", max(1.0, alpha))
+        object.__setattr__(self, "beta", max(1.0, beta))
+
+    # -- moments ------------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Expected progress ``α / (α + β)``."""
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def variance(self) -> float:
+        """Variance of the distribution."""
+        a, b = self.alpha, self.beta
+        return (a * b) / ((a + b) ** 2 * (a + b + 1.0))
+
+    @property
+    def std(self) -> float:
+        """Standard deviation."""
+        return float(np.sqrt(self.variance))
+
+    @property
+    def mode(self) -> Optional[float]:
+        """Mode of the distribution (None when it is not unique)."""
+        a, b = self.alpha, self.beta
+        if a > 1.0 and b > 1.0:
+            return (a - 1.0) / (a + b - 2.0)
+        if a == 1.0 and b == 1.0:
+            return None  # uniform: every point is a mode
+        if a <= 1.0 < b:
+            return 0.0
+        if b <= 1.0 < a:
+            return 1.0
+        return None
+
+    # -- quantiles / intervals ---------------------------------------------------------
+
+    def quantile(self, q: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """Inverse CDF at probability ``q``."""
+        result = stats.beta.ppf(q, self.alpha, self.beta)
+        if np.isscalar(q):
+            return float(result)
+        return np.asarray(result)
+
+    def confidence_interval(self, level: float = 0.9) -> Tuple[float, float]:
+        """Central credible interval at the given level (Fig. 6's band)."""
+        if not 0.0 < level < 1.0:
+            raise ValueError(f"level must be in (0, 1), got {level}")
+        tail = (1.0 - level) / 2.0
+        return (float(self.quantile(tail)), float(self.quantile(1.0 - tail)))
+
+    # -- sampling / densities -----------------------------------------------------------
+
+    def sample(self, rng: SeedLike = None, size: Optional[int] = None):
+        """Draw one sample (or ``size`` samples) of the progress ρ.
+
+        Samples are clipped away from exactly 0 and 1 so downstream uses
+        of ``1/ρ - 1`` (Eq. 7) stay finite.
+        """
+        rng = as_generator(rng)
+        draw = rng.beta(self.alpha, self.beta, size=size)
+        eps = 1e-9
+        draw = np.clip(draw, eps, 1.0 - eps)
+        if size is None:
+            return float(draw)
+        return draw
+
+    def logpdf(self, x: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """Log density at ``x``."""
+        result = stats.beta.logpdf(x, self.alpha, self.beta)
+        if np.isscalar(x):
+            return float(result)
+        return np.asarray(result)
+
+    def pdf(self, x: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """Density at ``x``."""
+        result = stats.beta.pdf(x, self.alpha, self.beta)
+        if np.isscalar(x):
+            return float(result)
+        return np.asarray(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BetaDistribution(alpha={self.alpha:.3f}, beta={self.beta:.3f})"

@@ -1,0 +1,181 @@
+"""The per-worker scaling agent (Fig. 11).
+
+Each worker manager "invokes a scaling agent to automatically adjust the
+execution configurations of its worker in the background".  The agent is
+a small state machine:
+
+``IDLE → LOADING → TRAINING`` on job start, and on a scaling request
+``TRAINING → PAUSED → RESIZING → RECONNECTING → (BROADCASTING) →
+TRAINING`` — the training process itself is never torn down.
+
+The agent records every transition with a timestamp so tests (and the
+migration coordinator) can assert the protocol ordering of Fig. 12.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+class AgentState(enum.Enum):
+    """States of the scaling-agent state machine."""
+
+    IDLE = "idle"
+    LOADING = "loading"
+    TRAINING = "training"
+    PAUSED = "paused"
+    RESIZING = "resizing"
+    RECONNECTING = "reconnecting"
+    BROADCASTING = "broadcasting"
+    STOPPED = "stopped"
+
+
+#: Legal transitions of the state machine.
+_ALLOWED_TRANSITIONS = {
+    AgentState.IDLE: {AgentState.LOADING},
+    AgentState.LOADING: {AgentState.TRAINING, AgentState.STOPPED},
+    AgentState.TRAINING: {AgentState.PAUSED, AgentState.STOPPED},
+    AgentState.PAUSED: {AgentState.RESIZING, AgentState.STOPPED},
+    AgentState.RESIZING: {AgentState.RECONNECTING},
+    AgentState.RECONNECTING: {AgentState.BROADCASTING, AgentState.TRAINING},
+    AgentState.BROADCASTING: {AgentState.TRAINING},
+    AgentState.STOPPED: set(),
+}
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One recorded state transition."""
+
+    time: float
+    from_state: AgentState
+    to_state: AgentState
+    detail: str = ""
+
+
+@dataclass
+class ScalingAgent:
+    """State machine controlling one worker's execution configuration.
+
+    Parameters
+    ----------
+    gpu_id:
+        GPU this agent's worker occupies.
+    job_id:
+        Job the worker belongs to.
+    """
+
+    gpu_id: int
+    job_id: str
+    state: AgentState = AgentState.IDLE
+    local_batch: int = 0
+    learning_rate: float = 0.0
+    peer_gpus: Tuple[int, ...] = ()
+    transitions: List[Transition] = field(default_factory=list)
+
+    # -- state machine core ---------------------------------------------------------------
+
+    def _move(self, new_state: AgentState, time: float, detail: str = "") -> None:
+        allowed = _ALLOWED_TRANSITIONS[self.state]
+        if new_state not in allowed:
+            raise RuntimeError(
+                f"illegal agent transition {self.state.value} → {new_state.value} "
+                f"for job {self.job_id} on GPU {self.gpu_id}"
+            )
+        self.transitions.append(
+            Transition(time=time, from_state=self.state, to_state=new_state, detail=detail)
+        )
+        self.state = new_state
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    def load_job(
+        self,
+        time: float,
+        local_batch: int,
+        learning_rate: float,
+        peer_gpus: Sequence[int],
+    ) -> None:
+        """Load the model/dataset/optimizer onto the GPU (Fig. 11a)."""
+        if local_batch < 1:
+            raise ValueError("local_batch must be >= 1 to load a worker")
+        self._move(AgentState.LOADING, time, "load modules on GPU")
+        self.local_batch = int(local_batch)
+        self.learning_rate = float(learning_rate)
+        self.peer_gpus = tuple(int(g) for g in peer_gpus)
+
+    def start_training(self, time: float) -> None:
+        """User script begins training (Fig. 11b)."""
+        self._move(AgentState.TRAINING, time, "user script resumed")
+
+    def pause(self, time: float) -> None:
+        """Pause the user script at the end of a training step (Fig. 11c)."""
+        self._move(AgentState.PAUSED, time, "paused at step boundary")
+
+    def resize(
+        self, time: float, new_local_batch: int, new_learning_rate: float
+    ) -> None:
+        """Resize the input tensors / modules for a new local batch size."""
+        if new_local_batch < 1:
+            raise ValueError("new_local_batch must be >= 1; use stop() to remove a worker")
+        self._move(AgentState.RESIZING, time, f"resize to local batch {new_local_batch}")
+        self.local_batch = int(new_local_batch)
+        self.learning_rate = float(new_learning_rate)
+
+    def reconnect(self, time: float, new_peer_gpus: Sequence[int]) -> None:
+        """Reconnect the collective-communication topology."""
+        self._move(AgentState.RECONNECTING, time, f"reconnect to {list(new_peer_gpus)}")
+        self.peer_gpus = tuple(int(g) for g in new_peer_gpus)
+
+    def broadcast_parameters(self, time: float) -> None:
+        """Broadcast parameters to newly added workers (Fig. 12)."""
+        self._move(AgentState.BROADCASTING, time, "broadcast parameters")
+
+    def resume(self, time: float) -> None:
+        """Resume training with the new configuration (Fig. 11d)."""
+        self._move(AgentState.TRAINING, time, "resume training")
+
+    def stop(self, time: float) -> None:
+        """Tear the worker down (job completed or preempted)."""
+        if self.state is AgentState.STOPPED:
+            return
+        if self.state not in (AgentState.TRAINING, AgentState.PAUSED, AgentState.LOADING):
+            raise RuntimeError(
+                f"cannot stop agent in state {self.state.value}; finish the scaling first"
+            )
+        self._move(AgentState.STOPPED, time, "worker stopped")
+        self.local_batch = 0
+        self.peer_gpus = ()
+
+    # -- queries ------------------------------------------------------------------------------
+
+    @property
+    def is_training(self) -> bool:
+        """Whether the worker is actively training."""
+        return self.state is AgentState.TRAINING
+
+    @property
+    def is_stopped(self) -> bool:
+        """Whether the worker has been torn down."""
+        return self.state is AgentState.STOPPED
+
+    def state_sequence(self) -> List[AgentState]:
+        """The visited states in order (including the initial IDLE)."""
+        if not self.transitions:
+            return [self.state]
+        return [self.transitions[0].from_state] + [t.to_state for t in self.transitions]
+
+    def training_was_stopped_during_scaling(self) -> bool:
+        """True if the worker process was ever torn down mid-scaling.
+
+        The defining property of elastic scaling is that this is always
+        False: the worker pauses but never stops while being re-configured.
+        """
+        seq = self.state_sequence()
+        for i, state in enumerate(seq[:-1]):
+            if state in (AgentState.PAUSED, AgentState.RESIZING, AgentState.RECONNECTING):
+                if seq[i + 1] is AgentState.STOPPED:
+                    return True
+        return False

@@ -1,0 +1,250 @@
+"""Checkpoint-free migration workflow (Fig. 12).
+
+Adding workers to a running job without a checkpoint requires the
+sequence:
+
+1. start the new workers and let them initialise *in parallel with the
+   ongoing training* (overlap),
+2. once ready, notify the previous workers (via the controller),
+3. previous workers finish their current step and quit the old topology,
+4. all workers connect to the new topology,
+5. parameters are broadcast from one of the previous workers,
+6. training resumes.
+
+The :class:`MigrationCoordinator` builds a :class:`MigrationPlan` — the
+timed sequence of those steps — and drives the per-worker scaling agents
+through it, so both the ordering and the total overhead are testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.devices import LONGHORN_NODE, NodeSpec
+from repro.jobs.model_zoo import ModelSpec
+from repro.scaling.agent import ScalingAgent
+from repro.scaling.overhead import OverheadModel
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """One timed step of the checkpoint-free migration workflow."""
+
+    name: str
+    start: float
+    duration: float
+    workers: Tuple[int, ...]
+    overlapped: bool = False
+
+    @property
+    def end(self) -> float:
+        """Completion time of the step."""
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """The full timed plan of one re-configuration."""
+
+    job_id: str
+    steps: Tuple[MigrationStep, ...]
+    training_paused_at: float
+    training_resumed_at: float
+
+    @property
+    def total_pause(self) -> float:
+        """Time the *previous* workers spend not training.
+
+        This is the cost visible to the job; work done by new workers
+        while the previous ones keep training is overlapped and free.
+        """
+        return max(0.0, self.training_resumed_at - self.training_paused_at)
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end duration of the migration including overlapped work."""
+        if not self.steps:
+            return 0.0
+        start = min(step.start for step in self.steps)
+        end = max(step.end for step in self.steps)
+        return end - start
+
+
+class MigrationCoordinator:
+    """Plans and executes checkpoint-free worker-set changes."""
+
+    def __init__(
+        self,
+        overhead_model: Optional[OverheadModel] = None,
+        node: NodeSpec = LONGHORN_NODE,
+    ) -> None:
+        self.overheads = overhead_model or OverheadModel(node=node)
+        self.node = node
+
+    # -- planning -------------------------------------------------------------------------
+
+    def plan_add_workers(
+        self,
+        job_id: str,
+        model: ModelSpec,
+        previous_gpus: Sequence[int],
+        new_gpus: Sequence[int],
+        start_time: float = 0.0,
+        local_batch: int = 64,
+    ) -> MigrationPlan:
+        """Plan the Fig. 12 workflow for adding ``new_gpus`` to a job."""
+        previous_gpus = tuple(int(g) for g in previous_gpus)
+        new_gpus = tuple(int(g) for g in new_gpus)
+        if not previous_gpus:
+            raise ValueError("plan_add_workers requires at least one previous worker")
+        if not new_gpus:
+            raise ValueError("no new workers to add; use plan_resize instead")
+        overlap = set(previous_gpus) & set(new_gpus)
+        if overlap:
+            raise ValueError(f"GPUs {sorted(overlap)} appear as both previous and new workers")
+
+        breakdown = self.overheads.elastic_breakdown(
+            model,
+            num_workers=len(previous_gpus) + len(new_gpus),
+            workers_added=True,
+            local_batch=local_batch,
+        )
+        steps: List[MigrationStep] = []
+        # 1. New workers initialise, overlapped with ongoing training.
+        init_duration = self.overheads.framework_restart * 0.5 + (
+            model.checkpoint_bytes / self.overheads.allocator_bandwidth
+        )
+        steps.append(
+            MigrationStep(
+                name="initialize_new_workers",
+                start=start_time,
+                duration=init_duration,
+                workers=new_gpus,
+                overlapped=True,
+            )
+        )
+        ready_time = start_time + init_duration
+        # 2. Previous workers drain their current step.
+        pause_time = ready_time
+        steps.append(
+            MigrationStep(
+                name="drain_current_step",
+                start=pause_time,
+                duration=breakdown.step_drain,
+                workers=previous_gpus,
+            )
+        )
+        cursor = pause_time + breakdown.step_drain
+        # 3. Quit old topology / connect to new topology.
+        steps.append(
+            MigrationStep(
+                name="reconnect_topology",
+                start=cursor,
+                duration=breakdown.communicator_reinit,
+                workers=previous_gpus + new_gpus,
+            )
+        )
+        cursor += breakdown.communicator_reinit
+        # 4. Resize buffers for the new local batch sizes.
+        steps.append(
+            MigrationStep(
+                name="resize_buffers",
+                start=cursor,
+                duration=breakdown.buffer_resize,
+                workers=previous_gpus + new_gpus,
+            )
+        )
+        cursor += breakdown.buffer_resize
+        # 5. Broadcast parameters from one previous worker.
+        steps.append(
+            MigrationStep(
+                name="broadcast_parameters",
+                start=cursor,
+                duration=breakdown.parameter_broadcast,
+                workers=previous_gpus + new_gpus,
+            )
+        )
+        cursor += breakdown.parameter_broadcast
+        return MigrationPlan(
+            job_id=job_id,
+            steps=tuple(steps),
+            training_paused_at=pause_time,
+            training_resumed_at=cursor,
+        )
+
+    def plan_resize(
+        self,
+        job_id: str,
+        model: ModelSpec,
+        gpus: Sequence[int],
+        start_time: float = 0.0,
+        local_batch: int = 64,
+    ) -> MigrationPlan:
+        """Plan a pure batch-size change (no workers added or removed)."""
+        gpus = tuple(int(g) for g in gpus)
+        if not gpus:
+            raise ValueError("plan_resize requires at least one worker")
+        breakdown = self.overheads.elastic_breakdown(
+            model, num_workers=len(gpus), workers_added=False, local_batch=local_batch
+        )
+        cursor = start_time
+        steps = [
+            MigrationStep("drain_current_step", cursor, breakdown.step_drain, gpus),
+        ]
+        cursor += breakdown.step_drain
+        steps.append(
+            MigrationStep("resize_buffers", cursor, breakdown.buffer_resize, gpus)
+        )
+        cursor += breakdown.buffer_resize
+        steps.append(
+            MigrationStep(
+                "reconnect_topology", cursor, breakdown.communicator_reinit, gpus
+            )
+        )
+        cursor += breakdown.communicator_reinit
+        return MigrationPlan(
+            job_id=job_id,
+            steps=tuple(steps),
+            training_paused_at=start_time,
+            training_resumed_at=cursor,
+        )
+
+    # -- execution against scaling agents ------------------------------------------------------
+
+    def execute_plan(
+        self,
+        plan: MigrationPlan,
+        agents: Dict[int, ScalingAgent],
+        new_local_batches: Dict[int, int],
+        new_learning_rate: float,
+        new_topology: Sequence[int],
+    ) -> None:
+        """Drive the per-worker agents through an add-workers plan.
+
+        ``agents`` must contain an agent per previous worker (in TRAINING
+        state) and per new worker (freshly constructed, IDLE).
+        """
+        new_topology = tuple(int(g) for g in new_topology)
+        previous = [g for g in new_topology if agents[g].is_training]
+        added = [g for g in new_topology if not agents[g].is_training]
+        # New workers load and connect first (overlapped with training).
+        for gpu in added:
+            agents[gpu].load_job(
+                time=plan.steps[0].start,
+                local_batch=new_local_batches[gpu],
+                learning_rate=new_learning_rate,
+                peer_gpus=new_topology,
+            )
+        # Previous workers pause at the step boundary, then everyone
+        # reconnects, previous workers broadcast, and training resumes.
+        for gpu in previous:
+            agents[gpu].pause(plan.training_paused_at)
+            agents[gpu].resize(
+                plan.training_paused_at, new_local_batches[gpu], new_learning_rate
+            )
+            agents[gpu].reconnect(plan.training_paused_at, new_topology)
+            agents[gpu].broadcast_parameters(plan.training_paused_at)
+            agents[gpu].resume(plan.training_resumed_at)
+        for gpu in added:
+            agents[gpu].start_training(plan.training_resumed_at)

@@ -1,0 +1,147 @@
+"""Control-plane messages of the elastic scaling mechanism.
+
+The central scheduler "sends messages to specific nodes to execute
+scaling at only necessary workers" (§1).  The message vocabulary below
+covers the interactions of Figs. 11 and 12: starting a job on a worker,
+re-configuring its batch size / topology, stopping it, and the
+acknowledgements the workers send back.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+_message_counter = itertools.count()
+
+
+class MessageType(enum.Enum):
+    """Kinds of messages exchanged between scheduler and worker managers."""
+
+    START_JOB = "start_job"
+    SCALE_BATCH = "scale_batch"
+    STOP_JOB = "stop_job"
+    PAUSE = "pause"
+    PAUSE_ACK = "pause_ack"
+    TOPOLOGY = "topology"
+    WORKER_READY = "worker_ready"
+    BROADCAST_PARAMS = "broadcast_params"
+    RESUME = "resume"
+    PROGRESS_REPORT = "progress_report"
+
+
+@dataclass(frozen=True)
+class ScalingMessage:
+    """A single message on the control plane.
+
+    Attributes
+    ----------
+    msg_type:
+        The :class:`MessageType`.
+    job_id:
+        Job the message concerns.
+    sender / receiver:
+        Logical endpoints: ``"scheduler"``, ``"manager:<gpu>"`` or
+        ``"agent:<gpu>"``.
+    payload:
+        Message-specific data (new local batch size, topology, …).
+    sequence:
+        Monotonic id used to assert ordering in tests.
+    """
+
+    msg_type: MessageType
+    job_id: str
+    sender: str
+    receiver: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    sequence: int = field(default_factory=lambda: next(_message_counter))
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+        if not self.sender or not self.receiver:
+            raise ValueError("sender and receiver must be non-empty")
+
+
+def make_start_command(
+    job_id: str,
+    gpu_id: int,
+    local_batch: int,
+    peer_gpus: Sequence[int],
+    learning_rate: float,
+) -> ScalingMessage:
+    """Scheduler → worker manager: start a worker of ``job_id`` on ``gpu_id``."""
+    if local_batch < 1:
+        raise ValueError("local_batch must be >= 1")
+    return ScalingMessage(
+        msg_type=MessageType.START_JOB,
+        job_id=job_id,
+        sender="scheduler",
+        receiver=f"manager:{gpu_id}",
+        payload={
+            "gpu_id": int(gpu_id),
+            "local_batch": int(local_batch),
+            "peer_gpus": tuple(int(g) for g in peer_gpus),
+            "learning_rate": float(learning_rate),
+        },
+    )
+
+
+def make_scale_command(
+    job_id: str,
+    gpu_id: int,
+    new_local_batch: int,
+    new_peer_gpus: Sequence[int],
+    new_learning_rate: float,
+) -> ScalingMessage:
+    """Scheduler → worker manager: re-configure an already-running worker."""
+    if new_local_batch < 0:
+        raise ValueError("new_local_batch must be >= 0 (0 removes the worker)")
+    return ScalingMessage(
+        msg_type=MessageType.SCALE_BATCH,
+        job_id=job_id,
+        sender="scheduler",
+        receiver=f"manager:{gpu_id}",
+        payload={
+            "gpu_id": int(gpu_id),
+            "local_batch": int(new_local_batch),
+            "peer_gpus": tuple(int(g) for g in new_peer_gpus),
+            "learning_rate": float(new_learning_rate),
+        },
+    )
+
+
+def make_stop_command(job_id: str, gpu_id: int) -> ScalingMessage:
+    """Scheduler → worker manager: stop the worker of ``job_id`` on ``gpu_id``."""
+    return ScalingMessage(
+        msg_type=MessageType.STOP_JOB,
+        job_id=job_id,
+        sender="scheduler",
+        receiver=f"manager:{gpu_id}",
+        payload={"gpu_id": int(gpu_id)},
+    )
+
+
+def make_progress_report(
+    job_id: str,
+    gpu_id: int,
+    samples_processed: float,
+    loss: float,
+    accuracy: float,
+    epoch: int,
+) -> ScalingMessage:
+    """Worker manager → scheduler: end-of-epoch progress upload (§3.1)."""
+    return ScalingMessage(
+        msg_type=MessageType.PROGRESS_REPORT,
+        job_id=job_id,
+        sender=f"manager:{gpu_id}",
+        receiver="scheduler",
+        payload={
+            "samples_processed": float(samples_processed),
+            "loss": float(loss),
+            "accuracy": float(accuracy),
+            "epoch": int(epoch),
+        },
+    )

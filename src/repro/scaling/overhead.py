@@ -1,0 +1,217 @@
+"""Re-configuration overhead model (Fig. 16).
+
+Two ways of applying a new configuration to a running job:
+
+* **Elastic batch-size scaling** (ONES): the scaling agent pauses the
+  user script at the end of a training step, resizes the input tensors
+  and buffers on the GPU, reconnects the communication topology and
+  (when workers were added) broadcasts the parameters.  The paper
+  measures ≈0.3–1.1 s per model.
+* **Checkpoint-based migration** (the common practice, used by the
+  baselines that resize jobs): stop training, write a checkpoint to the
+  shared filesystem, restart the processes, re-prepare the input
+  pipeline, reload the checkpoint onto the GPUs.  The paper measures
+  ≈10–22 s per model.
+
+The components below are derived from the hardware description
+(:class:`repro.cluster.devices.NodeSpec`) and the model description
+(:class:`repro.jobs.model_zoo.ModelSpec`); per-family data-preparation
+costs are calibration constants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cluster.devices import LONGHORN_NODE, NodeSpec
+from repro.jobs.model_zoo import ModelSpec
+from repro.utils.units import GB
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class ReconfigurationKind(enum.Enum):
+    """How a new configuration is applied to a running job."""
+
+    ELASTIC = "elastic"
+    CHECKPOINT = "checkpoint"
+
+
+#: Seconds spent re-preparing the input pipeline after a cold restart,
+#: by dataset family.  Sequence workloads (the LSTM / BERT jobs) pay the
+#: most, which is why the LSTM bar of Fig. 16 is the tallest checkpoint bar.
+DATA_PREPARATION_SECONDS: Dict[str, float] = {
+    "vision": 4.0,
+    "sequence": 12.0,
+    "default": 5.0,
+}
+
+#: Model-name → data family used to pick a data-preparation cost.
+_MODEL_FAMILY: Dict[str, str] = {
+    "alexnet": "vision",
+    "resnet18": "vision",
+    "resnet50": "vision",
+    "vgg16": "vision",
+    "googlenet": "vision",
+    "inceptionv3": "vision",
+    "bert": "sequence",
+    "lstm": "sequence",
+}
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Per-phase decomposition of one re-configuration."""
+
+    kind: ReconfigurationKind
+    step_drain: float = 0.0
+    communicator_reinit: float = 0.0
+    buffer_resize: float = 0.0
+    parameter_broadcast: float = 0.0
+    checkpoint_save: float = 0.0
+    process_restart: float = 0.0
+    data_preparation: float = 0.0
+    checkpoint_load: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total overhead in seconds."""
+        return (
+            self.step_drain
+            + self.communicator_reinit
+            + self.buffer_resize
+            + self.parameter_broadcast
+            + self.checkpoint_save
+            + self.process_restart
+            + self.data_preparation
+            + self.checkpoint_load
+        )
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Computes elastic and checkpoint-based re-configuration overheads.
+
+    Parameters
+    ----------
+    node:
+        Hardware description (bandwidths come from here).
+    coordination_overhead:
+        Fixed cost of the scheduler/manager/agent handshake during an
+        elastic re-configuration.
+    communicator_setup_per_worker:
+        NCCL communicator re-initialisation cost per participating worker.
+    allocator_bandwidth:
+        Effective rate at which GPU buffers are re-allocated/re-shaped.
+    framework_restart:
+        Process + framework (PyTorch) cold-start cost for the
+        checkpoint-based path.
+    storage_bandwidth:
+        Effective read/write bandwidth to the shared filesystem for
+        checkpoints (HDFS over 1 Gb/s Ethernet, with caching).
+    """
+
+    node: NodeSpec = LONGHORN_NODE
+    coordination_overhead: float = 0.20
+    communicator_setup_per_worker: float = 0.02
+    allocator_bandwidth: float = 2.5 * GB
+    reference_local_batch: int = 64
+    framework_restart: float = 4.0
+    storage_bandwidth: float = 0.25 * GB
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.coordination_overhead, "coordination_overhead")
+        check_non_negative(self.communicator_setup_per_worker, "communicator_setup_per_worker")
+        check_positive(self.allocator_bandwidth, "allocator_bandwidth")
+        check_positive(self.framework_restart, "framework_restart")
+        check_positive(self.storage_bandwidth, "storage_bandwidth")
+
+    # -- elastic path -----------------------------------------------------------------
+
+    def elastic_breakdown(
+        self,
+        model: ModelSpec,
+        num_workers: int = 2,
+        workers_added: bool = True,
+        local_batch: Optional[int] = None,
+    ) -> OverheadBreakdown:
+        """Breakdown of an elastic re-configuration of ``model``."""
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        local_batch = int(local_batch or self.reference_local_batch)
+        gpu = self.node.gpu
+        # Drain: on average half a step is outstanding when the pause lands.
+        step_time = (
+            model.flops_per_sample * local_batch / gpu.effective_flops(local_batch)
+            + gpu.kernel_overhead
+        )
+        step_drain = 0.5 * step_time
+        communicator = self.coordination_overhead + (
+            self.communicator_setup_per_worker * num_workers
+        )
+        buffer_resize = model.checkpoint_bytes / self.allocator_bandwidth
+        broadcast = 0.0
+        if workers_added and num_workers > 1:
+            broadcast = model.gradient_bytes / (0.7 * self.node.intra_node_bandwidth)
+        return OverheadBreakdown(
+            kind=ReconfigurationKind.ELASTIC,
+            step_drain=step_drain,
+            communicator_reinit=communicator,
+            buffer_resize=buffer_resize,
+            parameter_broadcast=broadcast,
+        )
+
+    def elastic_overhead(
+        self,
+        model: ModelSpec,
+        num_workers: int = 2,
+        workers_added: bool = True,
+        local_batch: Optional[int] = None,
+    ) -> float:
+        """Total elastic re-configuration overhead in seconds."""
+        return self.elastic_breakdown(model, num_workers, workers_added, local_batch).total
+
+    # -- checkpoint path ------------------------------------------------------------------
+
+    def checkpoint_breakdown(self, model: ModelSpec) -> OverheadBreakdown:
+        """Breakdown of a checkpoint-stop-restart migration of ``model``."""
+        family = _MODEL_FAMILY.get(model.name.split("@")[0], "default")
+        data_prep = DATA_PREPARATION_SECONDS.get(family, DATA_PREPARATION_SECONDS["default"])
+        save = model.checkpoint_bytes / self.storage_bandwidth
+        load = model.checkpoint_bytes / self.storage_bandwidth
+        return OverheadBreakdown(
+            kind=ReconfigurationKind.CHECKPOINT,
+            checkpoint_save=save,
+            process_restart=self.framework_restart,
+            data_preparation=data_prep,
+            checkpoint_load=load,
+        )
+
+    def checkpoint_overhead(self, model: ModelSpec) -> float:
+        """Total checkpoint-based migration overhead in seconds."""
+        return self.checkpoint_breakdown(model).total
+
+    # -- generic entry point used by the simulator ----------------------------------------------
+
+    def reconfiguration_overhead(
+        self,
+        model: ModelSpec,
+        kind: ReconfigurationKind,
+        num_workers: int = 2,
+        workers_added: bool = True,
+    ) -> float:
+        """Overhead of one re-configuration of the given kind."""
+        if kind is ReconfigurationKind.ELASTIC:
+            return self.elastic_overhead(model, num_workers, workers_added)
+        return self.checkpoint_overhead(model)
+
+    def comparison_table(self, models: Dict[str, ModelSpec]) -> Dict[str, Dict[str, float]]:
+        """Per-model elastic vs checkpoint overheads (the data behind Fig. 16)."""
+        table: Dict[str, Dict[str, float]] = {}
+        for name, model in models.items():
+            table[name] = {
+                "elastic": self.elastic_overhead(model),
+                "checkpoint": self.checkpoint_overhead(model),
+            }
+        return table

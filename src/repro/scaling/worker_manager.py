@@ -1,0 +1,172 @@
+"""Worker managers: the per-GPU control-plane endpoints (§3.1).
+
+"A worker manager is bound to each GPU device, which receives the new
+configuration from the scheduler, and invokes a scaling agent to
+automatically adjust the execution configurations of its worker in the
+background."
+
+A :class:`WorkerManager` therefore owns at most one :class:`ScalingAgent`
+at a time, translates scheduler messages into agent transitions, and
+emits progress reports back to the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.scaling.agent import AgentState, ScalingAgent
+from repro.scaling.messages import (
+    MessageType,
+    ScalingMessage,
+    make_progress_report,
+)
+
+
+@dataclass
+class WorkerManager:
+    """The control-plane endpoint bound to one GPU."""
+
+    gpu_id: int
+    agent: Optional[ScalingAgent] = None
+    inbox: List[ScalingMessage] = field(default_factory=list)
+    outbox: List[ScalingMessage] = field(default_factory=list)
+
+    # -- message handling --------------------------------------------------------------------
+
+    def handle(self, message: ScalingMessage, now: float) -> None:
+        """Process one scheduler message at simulation time ``now``."""
+        expected_receiver = f"manager:{self.gpu_id}"
+        if message.receiver != expected_receiver:
+            raise ValueError(
+                f"message for {message.receiver} delivered to {expected_receiver}"
+            )
+        self.inbox.append(message)
+        if message.msg_type is MessageType.START_JOB:
+            self._handle_start(message, now)
+        elif message.msg_type is MessageType.SCALE_BATCH:
+            self._handle_scale(message, now)
+        elif message.msg_type is MessageType.STOP_JOB:
+            self._handle_stop(message, now)
+        else:
+            raise ValueError(f"worker manager cannot handle {message.msg_type}")
+
+    def _handle_start(self, message: ScalingMessage, now: float) -> None:
+        if self.agent is not None and not self.agent.is_stopped:
+            raise RuntimeError(
+                f"GPU {self.gpu_id} already runs job {self.agent.job_id}; "
+                f"cannot start {message.job_id}"
+            )
+        payload = message.payload
+        self.agent = ScalingAgent(gpu_id=self.gpu_id, job_id=message.job_id)
+        self.agent.load_job(
+            time=now,
+            local_batch=payload["local_batch"],
+            learning_rate=payload["learning_rate"],
+            peer_gpus=payload["peer_gpus"],
+        )
+        self.agent.start_training(now)
+
+    def _handle_scale(self, message: ScalingMessage, now: float) -> None:
+        if self.agent is None or self.agent.is_stopped:
+            raise RuntimeError(f"GPU {self.gpu_id} has no active worker to scale")
+        if self.agent.job_id != message.job_id:
+            raise RuntimeError(
+                f"GPU {self.gpu_id} runs {self.agent.job_id}, got scale for {message.job_id}"
+            )
+        payload = message.payload
+        new_batch = payload["local_batch"]
+        if new_batch == 0:
+            # The worker is being removed from the job.
+            self.agent.pause(now)
+            self.agent.stop(now)
+            return
+        new_peers = payload["peer_gpus"]
+        workers_added = len(new_peers) > len(self.agent.peer_gpus)
+        self.agent.pause(now)
+        self.agent.resize(now, new_batch, payload["learning_rate"])
+        self.agent.reconnect(now, new_peers)
+        if workers_added:
+            self.agent.broadcast_parameters(now)
+        self.agent.resume(now)
+
+    def _handle_stop(self, message: ScalingMessage, now: float) -> None:
+        if self.agent is None or self.agent.is_stopped:
+            return
+        if self.agent.job_id != message.job_id:
+            raise RuntimeError(
+                f"GPU {self.gpu_id} runs {self.agent.job_id}, got stop for {message.job_id}"
+            )
+        self.agent.stop(now)
+
+    # -- progress reporting -----------------------------------------------------------------------
+
+    def report_progress(
+        self,
+        now: float,
+        samples_processed: float,
+        loss: float,
+        accuracy: float,
+        epoch: int,
+    ) -> ScalingMessage:
+        """Emit the end-of-epoch progress upload for the current worker."""
+        if self.agent is None or self.agent.is_stopped:
+            raise RuntimeError(f"GPU {self.gpu_id} has no active worker to report for")
+        message = make_progress_report(
+            job_id=self.agent.job_id,
+            gpu_id=self.gpu_id,
+            samples_processed=samples_processed,
+            loss=loss,
+            accuracy=accuracy,
+            epoch=epoch,
+        )
+        self.outbox.append(message)
+        return message
+
+    # -- queries ----------------------------------------------------------------------------------
+
+    @property
+    def is_busy(self) -> bool:
+        """Whether this GPU currently hosts an active worker."""
+        return self.agent is not None and not self.agent.is_stopped
+
+    @property
+    def current_job(self) -> Optional[str]:
+        """Id of the job currently running on this GPU, if any."""
+        if self.is_busy:
+            return self.agent.job_id
+        return None
+
+
+class WorkerManagerPool:
+    """All worker managers of a cluster, keyed by GPU id."""
+
+    def __init__(self, num_gpus: int) -> None:
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        self._managers: Dict[int, WorkerManager] = {
+            gpu: WorkerManager(gpu_id=gpu) for gpu in range(num_gpus)
+        }
+
+    def __getitem__(self, gpu_id: int) -> WorkerManager:
+        return self._managers[int(gpu_id)]
+
+    def __len__(self) -> int:
+        return len(self._managers)
+
+    def busy_gpus(self) -> List[int]:
+        """GPUs that currently host an active worker."""
+        return sorted(g for g, m in self._managers.items() if m.is_busy)
+
+    def idle_gpus(self) -> List[int]:
+        """GPUs with no active worker."""
+        return sorted(g for g, m in self._managers.items() if not m.is_busy)
+
+    def jobs_running(self) -> Dict[str, List[int]]:
+        """Mapping of job id → GPUs it currently occupies."""
+        running: Dict[str, List[int]] = {}
+        for gpu, manager in self._managers.items():
+            job = manager.current_job
+            if job is not None:
+                running.setdefault(job, []).append(gpu)
+        return {job: sorted(gpus) for job, gpus in running.items()}

@@ -1,0 +1,29 @@
+"""Discrete-event simulation of scheduling a trace on a GPU cluster.
+
+The :class:`repro.sim.simulator.ClusterSimulator` replays a workload
+trace against a scheduler and the analytic job models, producing per-job
+completion / execution / queuing times — the measurements behind
+Figs. 15, 17 and 18 and Table 4.
+"""
+
+from repro.sim.simulator import ClusterSimulator, SimulationConfig, SimulationResult
+from repro.sim.telemetry import (
+    GanttSegment,
+    RunTelemetry,
+    busy_gpu_timeline,
+    job_gantt,
+    summarize_run,
+    utilization_timeline,
+)
+
+__all__ = [
+    "ClusterSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "GanttSegment",
+    "RunTelemetry",
+    "busy_gpu_timeline",
+    "job_gantt",
+    "summarize_run",
+    "utilization_timeline",
+]

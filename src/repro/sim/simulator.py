@@ -1,0 +1,458 @@
+"""The cluster simulator.
+
+The simulator is a discrete-event loop over four event kinds:
+
+* ``JOB_ARRIVAL`` — a job from the trace is submitted,
+* ``EPOCH_END`` — a running job crosses an epoch boundary and uploads
+  its progress to the scheduler,
+* ``JOB_COMPLETION`` — handled inline when an epoch ends and the
+  convergence criterion (10 consecutive epochs above the target
+  accuracy) is met,
+* ``TIMER`` — periodic rescheduling ticks for interval-based schedulers
+  (Optimus reschedules every 10 minutes).
+
+Between events, every running job advances continuously at the
+throughput predicted by :class:`repro.jobs.throughput.ThroughputModel`
+for its current configuration.  When the scheduler deploys a new
+allocation, every job whose configuration changed is charged a
+re-configuration overhead during which it holds its GPUs but makes no
+progress — elastic (≈1 s) for ONES, checkpoint-based (≈10–22 s) for the
+baselines, plus a uniform cold-start cost when a job is (re)started from
+an idle state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.events import Event, EventKind, EventQueue
+from repro.cluster.topology import ClusterTopology
+from repro.jobs.job import Job, JobSpec, JobStatus
+from repro.jobs.throughput import ThroughputModel
+from repro.baselines.base import ClusterState, SchedulerBase
+from repro.scaling.overhead import OverheadModel, ReconfigurationKind
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Tunable parameters of a simulation run.
+
+    Parameters
+    ----------
+    max_time:
+        Hard stop (seconds of simulated time); jobs not finished by then
+        are reported as incomplete.
+    start_overhead:
+        Cold-start cost charged whenever a job goes from holding no GPUs
+        to holding some (process launch, data pipeline warm-up).  The
+        same for every scheduler so JCT differences come from decisions
+        and re-configuration costs, not from an arbitrary constant.
+    allreduce_efficiency:
+        Passed through to the throughput model.
+    min_progress_rate:
+        Guard against pathological configurations: a running job must
+        make at least this many samples/second or the simulator raises.
+    """
+
+    max_time: float = 48 * 3600.0
+    start_overhead: float = 5.0
+    allreduce_efficiency: float = 0.7
+    min_progress_rate: float = 1e-6
+    max_events: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        check_positive(self.max_time, "max_time")
+        check_non_negative(self.start_overhead, "start_overhead")
+        check_positive(self.allreduce_efficiency, "allreduce_efficiency")
+        check_positive(self.min_progress_rate, "min_progress_rate")
+        if self.max_events < 1000:
+            raise ValueError("max_events must be >= 1000")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    scheduler_name: str
+    num_gpus: int
+    completed: Dict[str, Dict[str, float]]
+    incomplete: List[str]
+    makespan: float
+    gpu_time_busy: float
+    gpu_time_total: float
+    num_reconfigurations: int
+    events_processed: int
+    jobs: Dict[str, Job] = field(default_factory=dict, repr=False)
+
+    # -- metric views -------------------------------------------------------------------
+
+    def jct_values(self) -> np.ndarray:
+        """Per-job completion times, ordered by job id."""
+        return self._metric("jct")
+
+    def execution_values(self) -> np.ndarray:
+        """Per-job execution times, ordered by job id."""
+        return self._metric("execution_time")
+
+    def queuing_values(self) -> np.ndarray:
+        """Per-job queuing times, ordered by job id."""
+        return self._metric("queuing_time")
+
+    def _metric(self, key: str) -> np.ndarray:
+        return np.asarray(
+            [self.completed[j][key] for j in sorted(self.completed)], dtype=float
+        )
+
+    @property
+    def average_jct(self) -> float:
+        """Mean job completion time over completed jobs."""
+        values = self.jct_values()
+        return float(values.mean()) if values.size else float("nan")
+
+    @property
+    def average_execution_time(self) -> float:
+        """Mean execution time over completed jobs."""
+        values = self.execution_values()
+        return float(values.mean()) if values.size else float("nan")
+
+    @property
+    def average_queuing_time(self) -> float:
+        """Mean queuing time over completed jobs."""
+        values = self.queuing_values()
+        return float(values.mean()) if values.size else float("nan")
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Busy GPU-seconds divided by available GPU-seconds."""
+        if self.gpu_time_total <= 0:
+            return 0.0
+        return self.gpu_time_busy / self.gpu_time_total
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers used by reports."""
+        return {
+            "scheduler": self.scheduler_name,
+            "num_gpus": self.num_gpus,
+            "completed_jobs": len(self.completed),
+            "incomplete_jobs": len(self.incomplete),
+            "average_jct": self.average_jct,
+            "average_execution_time": self.average_execution_time,
+            "average_queuing_time": self.average_queuing_time,
+            "makespan": self.makespan,
+            "gpu_utilization": self.gpu_utilization,
+            "reconfigurations": self.num_reconfigurations,
+        }
+
+
+class ClusterSimulator:
+    """Replays a trace against a scheduler on a simulated cluster."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        scheduler: SchedulerBase,
+        trace: Sequence[JobSpec],
+        config: Optional[SimulationConfig] = None,
+        overhead_model: Optional[OverheadModel] = None,
+    ) -> None:
+        if not trace:
+            raise ValueError("trace must contain at least one job")
+        job_ids = [spec.job_id for spec in trace]
+        if len(set(job_ids)) != len(job_ids):
+            raise ValueError("trace contains duplicate job ids")
+        self.topology = topology
+        self.scheduler = scheduler
+        self.config = config or SimulationConfig()
+        self.overheads = overhead_model or OverheadModel(node=topology.node_spec)
+        self.throughput_model = ThroughputModel(
+            topology, allreduce_efficiency=self.config.allreduce_efficiency
+        )
+        self.trace = sorted(trace, key=lambda s: (s.arrival_time, s.job_id))
+        self._spec_index = {spec.job_id: spec for spec in self.trace}
+        # runtime state
+        self.now: float = 0.0
+        self.jobs: Dict[str, Job] = {}
+        self.allocation: Allocation = Allocation.empty()
+        self._events = EventQueue()
+        self._job_throughput: Dict[str, float] = {}
+        self._progress_resume: Dict[str, float] = {}
+        self._last_progress: Dict[str, float] = {}
+        self._num_reconfigs = 0
+        self._busy_gpu_time = 0.0
+        self._last_busy_update = 0.0
+        self._events_processed = 0
+
+    # -- public API ---------------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run the simulation to completion (or the configured time limit)."""
+        for spec in self.trace:
+            self._events.push(
+                Event(time=spec.arrival_time, kind=EventKind.JOB_ARRIVAL, job_id=spec.job_id)
+            )
+        if self.scheduler.timer_interval is not None:
+            first = self.trace[0].arrival_time + self.scheduler.timer_interval
+            self._events.push(Event(time=first, kind=EventKind.TIMER))
+
+        while self._events and self._events_processed < self.config.max_events:
+            event = self._events.pop()
+            if event.time > self.config.max_time:
+                break
+            self._events_processed += 1
+            self._advance_time(event.time)
+            if event.kind is EventKind.JOB_ARRIVAL:
+                self._handle_arrival(event)
+            elif event.kind is EventKind.EPOCH_END:
+                self._handle_epoch_end(event)
+            elif event.kind is EventKind.TIMER:
+                self._handle_timer(event)
+            # JOB_COMPLETION / RECONFIG_DONE are folded into the handlers above.
+            if self._all_done():
+                break
+        return self._build_result()
+
+    # -- state snapshots ------------------------------------------------------------------------
+
+    def _state(self) -> ClusterState:
+        return ClusterState(
+            now=self.now,
+            topology=self.topology,
+            throughput_model=self.throughput_model,
+            allocation=self.allocation,
+            jobs=self.jobs,
+        )
+
+    def _all_done(self) -> bool:
+        if len(self.jobs) < len(self.trace):
+            return False
+        return all(job.is_completed for job in self.jobs.values())
+
+    # -- time advancement --------------------------------------------------------------------------
+
+    def _advance_time(self, to_time: float) -> None:
+        if to_time < self.now - 1e-9:
+            raise RuntimeError(
+                f"time went backwards: {self.now} -> {to_time} (event ordering bug)"
+            )
+        to_time = max(to_time, self.now)
+        # GPU busy-time accounting.
+        busy_gpus = len(self.allocation.used_gpus())
+        self._busy_gpu_time += busy_gpus * (to_time - self._last_busy_update)
+        self._last_busy_update = to_time
+        # Advance every running job's progress.
+        for job_id, job in self.jobs.items():
+            if not job.is_running:
+                self._last_progress[job_id] = to_time
+                continue
+            rate = self._job_throughput.get(job_id, 0.0)
+            start = max(
+                self._last_progress.get(job_id, to_time),
+                self._progress_resume.get(job_id, 0.0),
+            )
+            duration = max(0.0, to_time - start)
+            if duration > 0 and rate > 0:
+                job.advance(rate * duration, duration)
+            self._last_progress[job_id] = to_time
+        self.now = to_time
+
+    # -- event handlers -------------------------------------------------------------------------------
+
+    def _handle_arrival(self, event: Event) -> None:
+        spec = self._spec_index[event.job_id]
+        job = Job(spec)
+        self.jobs[spec.job_id] = job
+        self._last_progress[spec.job_id] = self.now
+        proposal = self.scheduler.on_job_arrival(job, self._state())
+        if proposal is not None:
+            self._apply_allocation(proposal)
+
+    def _handle_epoch_end(self, event: Event) -> None:
+        job = self.jobs.get(event.job_id)
+        if job is None or not job.is_running:
+            return
+        if event.generation != job.generation:
+            return  # stale event from before a re-configuration
+        # Snap tiny floating-point drift onto the epoch boundary so epochs
+        # are not double-counted.
+        boundary = round(job.samples_processed / job.dataset_size) * job.dataset_size
+        if boundary > 0 and abs(job.samples_processed - boundary) < 0.5:
+            job.samples_processed = float(boundary)
+        record = job.complete_epoch(self.now)
+        if job.is_converged:
+            self._complete_job(job)
+            return
+        proposal = self.scheduler.on_epoch_end(job, record, self._state())
+        if proposal is not None:
+            self._apply_allocation(proposal)
+        if job.is_running and event.generation == job.generation:
+            # Configuration unchanged: schedule the next epoch boundary.
+            self._schedule_epoch_end(job)
+
+    def _handle_timer(self, event: Event) -> None:
+        proposal = self.scheduler.on_timer(self._state())
+        if proposal is not None:
+            self._apply_allocation(proposal)
+        if self.scheduler.timer_interval is not None and not self._all_done():
+            self._events.push(
+                Event(
+                    time=self.now + self.scheduler.timer_interval,
+                    kind=EventKind.TIMER,
+                )
+            )
+
+    def _complete_job(self, job: Job) -> None:
+        job.mark_completed(self.now)
+        self._job_throughput.pop(job.job_id, None)
+        self._progress_resume.pop(job.job_id, None)
+        # Remove the job's workers from the deployed allocation.
+        mapping = {
+            gpu: worker
+            for gpu, worker in self.allocation.as_dict().items()
+            if worker[0] != job.job_id
+        }
+        self.allocation = Allocation(
+            {gpu: _worker(worker) for gpu, worker in mapping.items()}
+        )
+        proposal = self.scheduler.on_job_completion(job, self._state())
+        if proposal is not None:
+            self._apply_allocation(proposal)
+
+    # -- allocation application -----------------------------------------------------------------------
+
+    def _apply_allocation(self, proposal: Allocation) -> None:
+        self._validate_proposal(proposal)
+        changed = self.allocation.changed_jobs(proposal)
+        if not changed:
+            return
+        for job_id in sorted(changed):
+            job = self.jobs[job_id]
+            new_config = proposal.config_of(job_id)
+            if new_config is None:
+                # Preemption: release the job's GPUs.
+                if job.is_running:
+                    job.stop_running(self.now)
+                self._job_throughput.pop(job_id, None)
+                self._progress_resume.pop(job_id, None)
+                continue
+            was_running = job.is_running
+            old_workers = job.num_gpus
+            job.start_running(
+                self.now,
+                gpu_ids=new_config.gpu_ids,
+                local_batches=new_config.local_batches,
+                lr_scaled=self.scheduler.lr_is_scaled(),
+            )
+            overhead = self._reconfiguration_overhead(
+                job, was_running, old_workers, new_config.num_gpus
+            )
+            job.record_reconfiguration(overhead)
+            self._num_reconfigs += 1
+            self._progress_resume[job_id] = self.now + overhead
+            self._last_progress[job_id] = self.now
+            rate = self.throughput_model.throughput(
+                job.spec.model, list(new_config.local_batches), list(new_config.gpu_ids)
+            )
+            if rate < self.config.min_progress_rate:
+                raise RuntimeError(
+                    f"configuration of job {job_id} yields throughput {rate:.3g} "
+                    f"samples/s which is below the progress guard"
+                )
+            self._job_throughput[job_id] = rate
+        self.allocation = proposal
+        # Re-schedule epoch boundaries for every re-configured running job.
+        for job_id in sorted(changed):
+            job = self.jobs[job_id]
+            if job.is_running:
+                self._schedule_epoch_end(job)
+
+    def _validate_proposal(self, proposal: Allocation) -> None:
+        proposal.validate(
+            self.topology.num_gpus,
+            max_local_batch={
+                job_id: job.spec.max_local_batch for job_id, job in self.jobs.items()
+            },
+        )
+        for job_id in proposal.jobs():
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise ValueError(f"allocation references unknown job {job_id!r}")
+            if job.is_completed:
+                raise ValueError(f"allocation references completed job {job_id!r}")
+            if job.arrival_time > self.now + 1e-9:
+                raise ValueError(
+                    f"allocation references job {job_id!r} before its arrival"
+                )
+
+    def _reconfiguration_overhead(
+        self, job: Job, was_running: bool, old_workers: int, new_workers: int
+    ) -> float:
+        if not was_running:
+            return self.config.start_overhead
+        kind = self.scheduler.reconfiguration_kind
+        return self.overheads.reconfiguration_overhead(
+            job.spec.model,
+            kind,
+            num_workers=max(new_workers, 1),
+            workers_added=new_workers > old_workers,
+        )
+
+    # -- epoch-boundary scheduling ----------------------------------------------------------------------
+
+    def _schedule_epoch_end(self, job: Job) -> None:
+        rate = self._job_throughput.get(job.job_id, 0.0)
+        if rate <= 0:
+            return
+        into_epoch = job.samples_processed % job.dataset_size
+        remaining = job.dataset_size - into_epoch
+        if remaining <= 0.5:
+            remaining = job.dataset_size
+        resume_at = max(self.now, self._progress_resume.get(job.job_id, 0.0))
+        eta = resume_at + remaining / rate
+        self._events.push(
+            Event(
+                time=eta,
+                kind=EventKind.EPOCH_END,
+                job_id=job.job_id,
+                generation=job.generation,
+            )
+        )
+
+    # -- result assembly -------------------------------------------------------------------------------------
+
+    def _build_result(self) -> SimulationResult:
+        completed = {
+            job_id: job.completion_metrics()
+            for job_id, job in self.jobs.items()
+            if job.is_completed
+        }
+        incomplete = [
+            spec.job_id
+            for spec in self.trace
+            if spec.job_id not in completed
+        ]
+        makespan = self.now - self.trace[0].arrival_time if self.jobs else 0.0
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            num_gpus=self.topology.num_gpus,
+            completed=completed,
+            incomplete=incomplete,
+            makespan=makespan,
+            gpu_time_busy=self._busy_gpu_time,
+            gpu_time_total=self.topology.num_gpus * max(makespan, 1e-9),
+            num_reconfigurations=self._num_reconfigs,
+            events_processed=self._events_processed,
+            jobs=dict(self.jobs),
+        )
+
+
+def _worker(worker_tuple):
+    from repro.cluster.allocation import WorkerAssignment
+
+    job_id, local_batch = worker_tuple
+    return WorkerAssignment(job_id=job_id, local_batch=local_batch)

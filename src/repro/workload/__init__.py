@@ -1,0 +1,58 @@
+"""Trace-driven workloads (Table 2 of the paper).
+
+The evaluation trace mixes computer-vision and NLP training jobs over
+reduced dataset sizes so every job finishes within about two hours.
+This subpackage provides:
+
+* :mod:`repro.workload.tasks` — the Table-2 catalogue: 50 distinct
+  workload templates (model × dataset × dataset size) plus the
+  hyper-parameters of their convergence profiles.
+* :mod:`repro.workload.trace` — a Poisson-arrival trace generator over
+  that catalogue.
+* :mod:`repro.workload.replay` — (de)serialisation of traces and trace
+  statistics, so experiments can replay identical workloads across
+  schedulers.
+"""
+
+from repro.workload.tasks import (
+    TaskFamily,
+    WorkloadTemplate,
+    build_workload_catalog,
+    make_job_spec,
+    catalog_summary,
+)
+from repro.workload.trace import TraceGenerator, TraceConfig
+from repro.workload.replay import (
+    jobspec_to_dict,
+    jobspec_from_dict,
+    save_trace,
+    load_trace,
+    trace_statistics,
+)
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    interarrival_statistics,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "interarrival_statistics",
+    "TaskFamily",
+    "WorkloadTemplate",
+    "build_workload_catalog",
+    "make_job_spec",
+    "catalog_summary",
+    "TraceGenerator",
+    "TraceConfig",
+    "jobspec_to_dict",
+    "jobspec_from_dict",
+    "save_trace",
+    "load_trace",
+    "trace_statistics",
+]

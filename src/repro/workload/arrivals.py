@@ -1,0 +1,156 @@
+"""Arrival-process models beyond the basic Poisson stream.
+
+The paper's evaluation uses a single trace-driven workload, but real
+cluster traces (e.g. the Philly trace analysed in related work) show
+pronounced diurnal patterns and bursts.  To support sensitivity studies,
+this module provides three arrival processes with a common interface:
+
+* :class:`PoissonArrivals` — homogeneous Poisson (the default generator).
+* :class:`DiurnalArrivals` — an inhomogeneous Poisson process whose rate
+  follows a day/night sinusoid.
+* :class:`BurstyArrivals` — a Markov-modulated Poisson process that
+  alternates between a quiet and a bursty regime.
+
+Each process produces arrival *timestamps*; the trace generator pairs
+them with workload templates.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.units import HOUR
+from repro.utils.validation import check_positive, check_positive_int, check_probability
+
+
+class ArrivalProcess(abc.ABC):
+    """Common interface: generate ``n`` arrival timestamps (sorted, >= 0)."""
+
+    @abc.abstractmethod
+    def generate(self, num_jobs: int, rng: SeedLike = None) -> np.ndarray:
+        """Return ``num_jobs`` sorted arrival times starting at 0."""
+
+    def _finalize(self, times: Sequence[float], num_jobs: int) -> np.ndarray:
+        arr = np.asarray(list(times)[:num_jobs], dtype=float)
+        arr.sort()
+        if arr.size:
+            arr -= arr[0]
+        return arr
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals with rate λ (jobs/second)."""
+
+    rate: float = 1.0 / 30.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.rate, "rate")
+
+    def generate(self, num_jobs: int, rng: SeedLike = None) -> np.ndarray:
+        check_positive_int(num_jobs, "num_jobs")
+        rng = as_generator(rng)
+        gaps = rng.exponential(1.0 / self.rate, size=num_jobs)
+        times = np.concatenate([[0.0], np.cumsum(gaps)[:-1]])
+        return self._finalize(times, num_jobs)
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidally-modulated Poisson arrivals (busy days, quiet nights).
+
+    The instantaneous rate is
+    ``λ(t) = base_rate · (1 + amplitude · sin(2πt / period + phase))``
+    and arrivals are drawn by thinning a homogeneous process at the peak
+    rate.
+    """
+
+    base_rate: float = 1.0 / 30.0
+    amplitude: float = 0.8
+    period: float = 24.0 * HOUR
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.base_rate, "base_rate")
+        check_probability(self.amplitude, "amplitude")
+        check_positive(self.period, "period")
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at time ``t``."""
+        return self.base_rate * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period + self.phase)
+        )
+
+    def generate(self, num_jobs: int, rng: SeedLike = None) -> np.ndarray:
+        check_positive_int(num_jobs, "num_jobs")
+        rng = as_generator(rng)
+        peak = self.base_rate * (1.0 + self.amplitude)
+        times: List[float] = []
+        t = 0.0
+        # Thinning: propose at the peak rate, accept with probability λ(t)/peak.
+        while len(times) < num_jobs:
+            t += float(rng.exponential(1.0 / peak))
+            if rng.random() <= self.rate_at(t) / peak:
+                times.append(t)
+        return self._finalize(times, num_jobs)
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (quiet / burst)."""
+
+    quiet_rate: float = 1.0 / 60.0
+    burst_rate: float = 1.0 / 5.0
+    mean_quiet_duration: float = 600.0
+    mean_burst_duration: float = 120.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.quiet_rate, "quiet_rate")
+        check_positive(self.burst_rate, "burst_rate")
+        check_positive(self.mean_quiet_duration, "mean_quiet_duration")
+        check_positive(self.mean_burst_duration, "mean_burst_duration")
+        if self.burst_rate <= self.quiet_rate:
+            raise ValueError("burst_rate must exceed quiet_rate")
+
+    def generate(self, num_jobs: int, rng: SeedLike = None) -> np.ndarray:
+        check_positive_int(num_jobs, "num_jobs")
+        rng = as_generator(rng)
+        times: List[float] = []
+        t = 0.0
+        bursting = False
+        phase_end = float(rng.exponential(self.mean_quiet_duration))
+        while len(times) < num_jobs:
+            rate = self.burst_rate if bursting else self.quiet_rate
+            gap = float(rng.exponential(1.0 / rate))
+            if t + gap >= phase_end:
+                # Switch regime at the phase boundary and continue from there.
+                t = phase_end
+                bursting = not bursting
+                mean = self.mean_burst_duration if bursting else self.mean_quiet_duration
+                phase_end = t + float(rng.exponential(mean))
+                continue
+            t += gap
+            times.append(t)
+        return self._finalize(times, num_jobs)
+
+
+def interarrival_statistics(times: Sequence[float]) -> dict:
+    """Mean / std / burstiness (coefficient of variation) of inter-arrivals."""
+    arr = np.sort(np.asarray(list(times), dtype=float))
+    if arr.size < 2:
+        return {"mean": 0.0, "std": 0.0, "cv": 0.0, "count": int(arr.size)}
+    gaps = np.diff(arr)
+    mean = float(np.mean(gaps))
+    std = float(np.std(gaps))
+    return {
+        "mean": mean,
+        "std": std,
+        "cv": std / mean if mean > 0 else 0.0,
+        "count": int(arr.size),
+    }

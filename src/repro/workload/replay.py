@@ -1,0 +1,118 @@
+"""Trace (de)serialisation and statistics.
+
+Experiments must replay *identical* workloads across the four schedulers
+(ONES, DRL, Tiresias, Optimus) so that JCT differences come from
+scheduling decisions, not trace noise.  A trace is serialised to plain
+JSON-compatible dictionaries; loading reconstructs full
+:class:`repro.jobs.job.JobSpec` objects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.jobs.convergence import ConvergenceProfile
+from repro.jobs.job import JobSpec
+from repro.jobs.model_zoo import ModelSpec
+
+
+def jobspec_to_dict(spec: JobSpec) -> Dict:
+    """Serialise a :class:`JobSpec` into a JSON-compatible dictionary."""
+    model = spec.model
+    conv = spec.convergence
+    return {
+        "job_id": spec.job_id,
+        "task": spec.task,
+        "dataset": spec.dataset,
+        "dataset_size": spec.dataset_size,
+        "num_classes": spec.num_classes,
+        "base_batch": spec.base_batch,
+        "base_lr": spec.base_lr,
+        "requested_gpus": spec.requested_gpus,
+        "arrival_time": spec.arrival_time,
+        "convergence_patience": spec.convergence_patience,
+        "model": {
+            "name": model.name,
+            "num_parameters": model.num_parameters,
+            "flops_per_sample": model.flops_per_sample,
+            "max_local_batch": model.max_local_batch,
+            "bytes_per_parameter": model.bytes_per_parameter,
+            "checkpoint_bytes": model.checkpoint_bytes,
+        },
+        "convergence": {
+            "base_epochs_to_target": conv.base_epochs_to_target,
+            "target_accuracy": conv.target_accuracy,
+            "max_accuracy": conv.max_accuracy,
+            "initial_loss": conv.initial_loss,
+            "final_loss": conv.final_loss,
+            "reference_batch": conv.reference_batch,
+            "critical_batch": conv.critical_batch,
+            "penalty_per_doubling": conv.penalty_per_doubling,
+            "unscaled_penalty_per_doubling": conv.unscaled_penalty_per_doubling,
+            "loss_spike_per_doubling": conv.loss_spike_per_doubling,
+            "spike_recovery_epochs": conv.spike_recovery_epochs,
+        },
+    }
+
+
+def jobspec_from_dict(payload: Dict) -> JobSpec:
+    """Reconstruct a :class:`JobSpec` from :func:`jobspec_to_dict` output."""
+    model = ModelSpec(**payload["model"])
+    convergence = ConvergenceProfile(**payload["convergence"])
+    return JobSpec(
+        job_id=payload["job_id"],
+        task=payload["task"],
+        model=model,
+        dataset=payload["dataset"],
+        dataset_size=int(payload["dataset_size"]),
+        num_classes=int(payload["num_classes"]),
+        convergence=convergence,
+        base_batch=int(payload["base_batch"]),
+        base_lr=float(payload["base_lr"]),
+        requested_gpus=int(payload["requested_gpus"]),
+        arrival_time=float(payload["arrival_time"]),
+        convergence_patience=int(payload["convergence_patience"]),
+    )
+
+
+def save_trace(trace: Sequence[JobSpec], path: Union[str, Path]) -> Path:
+    """Write a trace to a JSON file; returns the path written."""
+    path = Path(path)
+    payload = [jobspec_to_dict(spec) for spec in trace]
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> List[JobSpec]:
+    """Load a trace previously written by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ValueError(f"trace file {path} does not contain a list of jobs")
+    return [jobspec_from_dict(item) for item in payload]
+
+
+def trace_statistics(trace: Iterable[JobSpec]) -> Dict[str, float]:
+    """Summary statistics of a trace used in experiment reports."""
+    trace = list(trace)
+    if not trace:
+        raise ValueError("cannot summarise an empty trace")
+    arrivals = np.asarray([spec.arrival_time for spec in trace], dtype=float)
+    sizes = np.asarray([spec.dataset_size for spec in trace], dtype=float)
+    gpus = np.asarray([spec.requested_gpus for spec in trace], dtype=float)
+    inter = np.diff(np.sort(arrivals)) if len(arrivals) > 1 else np.asarray([0.0])
+    families: Dict[str, int] = {}
+    for spec in trace:
+        families[spec.dataset] = families.get(spec.dataset, 0) + 1
+    return {
+        "num_jobs": float(len(trace)),
+        "makespan_of_arrivals": float(arrivals.max() - arrivals.min()),
+        "mean_interarrival": float(inter.mean()),
+        "mean_dataset_size": float(sizes.mean()),
+        "mean_requested_gpus": float(gpus.mean()),
+        "max_requested_gpus": float(gpus.max()),
+        **{f"count_{name}": float(count) for name, count in sorted(families.items())},
+    }

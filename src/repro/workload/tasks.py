@@ -1,0 +1,253 @@
+"""The Table-2 workload catalogue.
+
+Table 2 of the paper enumerates 50 workloads:
+
+====  =========  ==========================  ======================  ========
+Task  Dataset    Models                      Dataset sizes           #Classes
+====  =========  ==========================  ======================  ========
+CV    ImageNet   AlexNet, ResNet50, VGG16,   10k, 12k, …, 20k        10…20
+                 InceptionV3
+CV    CIFAR10    ResNet18, VGG16, GoogleNet  20k, 25k, 30k, 35k, 40k 10
+NLP   COLA       BERT (pre-trained)          5k, 6k, 7k, 8k          2
+NLP   MRPC       BERT (pre-trained)          3.6k                    2
+NLP   SST-2      BERT (pre-trained)          10k, 12k, …, 20k        2
+====  =========  ==========================  ======================  ========
+
+4 × 6 + 3 × 5 + 4 + 1 + 6 = 50 workload templates.  Each template carries
+the hyper-parameters of the analytic convergence profile (target accuracy,
+critical batch size, epochs to target, …) used by the simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.jobs.convergence import ConvergenceProfile
+from repro.jobs.job import JobSpec
+from repro.jobs.model_zoo import ModelSpec, get_model
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class TaskFamily(enum.Enum):
+    """High-level task families of Table 2."""
+
+    CV = "cv"
+    NLP = "nlp"
+
+
+@dataclass(frozen=True)
+class WorkloadTemplate:
+    """One row of the expanded Table 2: a concrete trainable workload."""
+
+    name: str
+    family: TaskFamily
+    dataset: str
+    model_name: str
+    dataset_size: int
+    num_classes: int
+    compute_scale: float
+    local_base_batch: int
+    base_lr: float
+    target_accuracy: float
+    max_accuracy: float
+    base_epochs_to_target: float
+    critical_batch: int
+    final_loss: float
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.dataset_size, "dataset_size")
+        check_positive_int(self.num_classes, "num_classes")
+        check_positive(self.compute_scale, "compute_scale")
+        check_positive_int(self.local_base_batch, "local_base_batch")
+        check_positive(self.base_lr, "base_lr")
+        check_positive(self.base_epochs_to_target, "base_epochs_to_target")
+        check_positive_int(self.critical_batch, "critical_batch")
+
+    @property
+    def initial_loss(self) -> float:
+        """Loss of an untrained classifier: ``ln(num_classes)``."""
+        return math.log(max(2, self.num_classes))
+
+    def model(self) -> ModelSpec:
+        """The model spec scaled for this dataset's input size."""
+        base = get_model(self.model_name)
+        if abs(self.compute_scale - 1.0) < 1e-12:
+            return base
+        return base.scaled(self.compute_scale, name_suffix=f"@{self.dataset}")
+
+    def convergence_profile(self) -> ConvergenceProfile:
+        """Build the convergence profile of this workload."""
+        return ConvergenceProfile(
+            base_epochs_to_target=self.base_epochs_to_target,
+            target_accuracy=self.target_accuracy,
+            max_accuracy=self.max_accuracy,
+            initial_loss=self.initial_loss,
+            final_loss=self.final_loss,
+            reference_batch=self.local_base_batch,
+            critical_batch=self.critical_batch,
+        )
+
+
+# --- per-family defaults -------------------------------------------------------------
+
+_IMAGENET_MODELS = ("alexnet", "resnet50", "vgg16", "inceptionv3")
+_IMAGENET_SIZES = tuple(range(10_000, 20_001, 2_000))  # 10k, 12k, ..., 20k
+_CIFAR_MODELS = ("resnet18", "vgg16", "googlenet")
+_CIFAR_SIZES = (20_000, 25_000, 30_000, 35_000, 40_000)
+_NLP_DATASETS: Dict[str, Sequence[int]] = {
+    "cola": (5_000, 6_000, 7_000, 8_000),
+    "mrpc": (3_600,),
+    "sst2": tuple(range(10_000, 20_001, 2_000)),
+}
+
+# Per-model convergence speed on the ImageNet subsets (epochs to target).
+_IMAGENET_EPOCHS = {
+    "alexnet": 12.0,
+    "resnet50": 16.0,
+    "vgg16": 14.0,
+    "inceptionv3": 18.0,
+}
+_CIFAR_EPOCHS = {"resnet18": 20.0, "vgg16": 18.0, "googlenet": 22.0}
+_NLP_EPOCHS = {"cola": 4.0, "mrpc": 3.5, "sst2": 5.0}
+_NLP_TARGET = {"cola": 0.78, "mrpc": 0.82, "sst2": 0.88}
+_NLP_MAX = {"cola": 0.84, "mrpc": 0.88, "sst2": 0.93}
+
+
+def _imagenet_template(model_name: str, dataset_size: int, num_classes: int) -> WorkloadTemplate:
+    return WorkloadTemplate(
+        name=f"imagenet-{model_name}-{dataset_size // 1000}k",
+        family=TaskFamily.CV,
+        dataset="imagenet",
+        model_name=model_name,
+        dataset_size=dataset_size,
+        num_classes=num_classes,
+        compute_scale=1.0,
+        local_base_batch=64,
+        base_lr=0.1,
+        target_accuracy=0.75,
+        max_accuracy=0.86,
+        base_epochs_to_target=_IMAGENET_EPOCHS[model_name],
+        critical_batch=1024,
+        final_loss=0.25,
+    )
+
+
+def _cifar_template(model_name: str, dataset_size: int) -> WorkloadTemplate:
+    return WorkloadTemplate(
+        name=f"cifar10-{model_name}-{dataset_size // 1000}k",
+        family=TaskFamily.CV,
+        dataset="cifar10",
+        model_name=model_name,
+        dataset_size=dataset_size,
+        num_classes=10,
+        compute_scale=0.12,
+        local_base_batch=128,
+        base_lr=0.1,
+        target_accuracy=0.85,
+        max_accuracy=0.93,
+        base_epochs_to_target=_CIFAR_EPOCHS[model_name],
+        critical_batch=2048,
+        final_loss=0.15,
+    )
+
+
+def _nlp_template(dataset: str, dataset_size: int) -> WorkloadTemplate:
+    return WorkloadTemplate(
+        name=f"{dataset}-bert-{dataset_size}",
+        family=TaskFamily.NLP,
+        dataset=dataset,
+        model_name="bert",
+        dataset_size=dataset_size,
+        num_classes=2,
+        compute_scale=0.5,
+        local_base_batch=16,
+        base_lr=2e-5,
+        target_accuracy=_NLP_TARGET[dataset],
+        max_accuracy=_NLP_MAX[dataset],
+        base_epochs_to_target=_NLP_EPOCHS[dataset],
+        critical_batch=128,
+        final_loss=0.10,
+    )
+
+
+def build_workload_catalog() -> List[WorkloadTemplate]:
+    """Expand Table 2 into its 50 concrete workload templates."""
+    catalog: List[WorkloadTemplate] = []
+    # CV on ImageNet subsets: classes grow with the subset size (10, 12, ..., 20).
+    for model_name in _IMAGENET_MODELS:
+        for size, classes in zip(_IMAGENET_SIZES, range(10, 21, 2)):
+            catalog.append(_imagenet_template(model_name, size, classes))
+    # CV on CIFAR-10 subsets.
+    for model_name in _CIFAR_MODELS:
+        for size in _CIFAR_SIZES:
+            catalog.append(_cifar_template(model_name, size))
+    # NLP fine-tuning on GLUE subsets.
+    for dataset, sizes in _NLP_DATASETS.items():
+        for size in sizes:
+            catalog.append(_nlp_template(dataset, size))
+    return catalog
+
+
+def catalog_summary(catalog: Optional[Sequence[WorkloadTemplate]] = None) -> Dict[str, int]:
+    """Count templates per (task family, dataset) — mirrors Table 2's layout."""
+    catalog = list(catalog) if catalog is not None else build_workload_catalog()
+    counts: Dict[str, int] = {}
+    for template in catalog:
+        key = f"{template.family.value}/{template.dataset}"
+        counts[key] = counts.get(key, 0) + 1
+    counts["total"] = len(catalog)
+    return counts
+
+
+def make_job_spec(
+    template: WorkloadTemplate,
+    job_id: str,
+    arrival_time: float = 0.0,
+    requested_gpus: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    convergence_patience: int = 10,
+) -> JobSpec:
+    """Instantiate a :class:`JobSpec` from a workload template.
+
+    ``requested_gpus`` is the user-submitted job size honoured by
+    fixed-size schedulers; the submitted global batch follows the common
+    practice of a fixed per-GPU batch (``local_base_batch × requested``).
+    A small amount of convergence-speed jitter can be injected through
+    ``rng`` so that two jobs from the same template are not byte-identical.
+    """
+    check_positive_int(requested_gpus, "requested_gpus")
+    from dataclasses import replace as _replace
+
+    model = template.model()
+    profile = template.convergence_profile()
+    if rng is not None:
+        rng = as_generator(rng)
+        jitter = float(rng.uniform(0.85, 1.15))
+        profile = _replace(
+            profile, base_epochs_to_target=profile.base_epochs_to_target * jitter
+        )
+    local_batch = min(template.local_base_batch, model.max_local_batch)
+    base_batch = min(local_batch * requested_gpus, template.dataset_size)
+    # The user tunes the learning rate for the batch they submit, so the
+    # convergence reference batch is the submitted global batch.
+    profile = _replace(profile, reference_batch=base_batch)
+    return JobSpec(
+        job_id=job_id,
+        task=template.name,
+        model=model,
+        dataset=template.dataset,
+        dataset_size=template.dataset_size,
+        num_classes=template.num_classes,
+        convergence=profile,
+        base_batch=base_batch,
+        base_lr=template.base_lr,
+        requested_gpus=requested_gpus,
+        arrival_time=arrival_time,
+        convergence_patience=convergence_patience,
+    )

@@ -1,0 +1,84 @@
+"""Helpers shared by the core (ONES) test modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.topology import make_longhorn_cluster
+from repro.core.operators import EvolutionContext
+from repro.core.schedule import Schedule
+from repro.jobs.job import Job
+from repro.jobs.throughput import ThroughputModel, split_batch
+from repro.prediction.beta import BetaDistribution
+from tests.conftest import make_job
+
+
+def make_jobs(
+    num_jobs: int = 3,
+    dataset_size: int = 4000,
+    base_batch: int = 128,
+    requested_gpus: int = 1,
+) -> Dict[str, Job]:
+    """A dict of pending jobs named job-0, job-1, ..."""
+    jobs = {}
+    for i in range(num_jobs):
+        job_id = f"job-{i}"
+        jobs[job_id] = make_job(
+            job_id=job_id,
+            dataset_size=dataset_size,
+            base_batch=base_batch,
+            requested_gpus=requested_gpus,
+            arrival_time=float(i),
+        )
+    return jobs
+
+
+def make_context(
+    jobs: Optional[Dict[str, Job]] = None,
+    num_gpus: int = 8,
+    limits: Optional[Dict[str, int]] = None,
+    never_started: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> EvolutionContext:
+    """Build a realistic EvolutionContext over a small Longhorn cluster."""
+    jobs = jobs if jobs is not None else make_jobs()
+    topology = make_longhorn_cluster(num_gpus)
+    model = ThroughputModel(topology)
+    roster = tuple(sorted(jobs))
+    limits = dict(limits) if limits is not None else {
+        job_id: job.spec.base_batch * 4 for job_id, job in jobs.items()
+    }
+
+    def throughput_fn(job: Job, schedule: Schedule) -> float:
+        count = schedule.gpu_count(job.job_id)
+        if count == 0:
+            return 0.0
+        limit = limits.get(job.job_id, job.spec.base_batch)
+        global_batch = schedule.global_batch(job, limit)
+        gpus = schedule.gpus_of(job.job_id)
+        return model.throughput(job.spec.model, split_batch(global_batch, count), gpus)
+
+    distributions = {
+        job_id: BetaDistribution(max(1.0, job.processed_epochs()), 5.0)
+        for job_id, job in jobs.items()
+    }
+    remaining = {
+        job_id: max(job.samples_processed, 1.0) * 4.0 for job_id, job in jobs.items()
+    }
+    executed = {job_id: float(i * 10) for i, job_id in enumerate(sorted(jobs))}
+    if never_started is None:
+        never_started = {j for j, job in jobs.items() if job.first_start_time is None}
+    return EvolutionContext(
+        jobs=jobs,
+        roster=roster,
+        limits=limits,
+        distributions=distributions,
+        throughput_fn=throughput_fn,
+        remaining_workload=remaining,
+        executed_time=executed,
+        num_gpus=num_gpus,
+        never_started=set(never_started),
+        rng=np.random.default_rng(seed),
+    )

@@ -1,0 +1,69 @@
+"""Tests for the repro-ones command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import SCHEDULERS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_schedulers_available(self):
+        assert {"ones", "drl", "tiresias", "optimus", "gandiva", "fifo", "srtf"} <= set(SCHEDULERS)
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheduler == "ones"
+        assert args.gpus == 64
+
+
+class TestTraceCommand:
+    def test_writes_trace_json(self, tmp_path, capsys):
+        output = tmp_path / "trace.json"
+        code = main(["trace", "--jobs", "6", "--seed", "3", "--output", str(output)])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert len(payload) == 6
+        assert "Wrote 6 jobs" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_run_fifo_on_generated_trace(self, tmp_path, capsys):
+        csv_path = tmp_path / "jobs.csv"
+        code = main([
+            "run", "--scheduler", "fifo", "--gpus", "8", "--jobs", "3",
+            "--arrival-interval", "10", "--seed", "4", "--csv", str(csv_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average_jct" in out
+        assert csv_path.exists()
+
+    def test_run_replays_saved_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        main(["trace", "--jobs", "3", "--seed", "5", "--output", str(trace_path)])
+        capsys.readouterr()
+        code = main([
+            "run", "--scheduler", "tiresias", "--gpus", "8",
+            "--trace", str(trace_path), "--seed", "5",
+        ])
+        assert code == 0
+        assert "completed_jobs" in capsys.readouterr().out
+
+
+class TestFiguresCommand:
+    def test_fig16_report(self, capsys):
+        code = main(["figures", "--which", "fig16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 16" in out
+        assert "vgg16" in out
+
+    def test_fig2_report(self, capsys):
+        code = main(["figures", "--which", "fig2"])
+        assert code == 0
+        assert "Figure 2" in capsys.readouterr().out

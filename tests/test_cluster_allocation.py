@@ -1,0 +1,92 @@
+"""Tests for repro.cluster.allocation."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation, WorkerAssignment
+
+
+class TestWorkerAssignment:
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            WorkerAssignment("job-a", 0)
+
+    def test_rejects_empty_job_id(self):
+        with pytest.raises(ValueError):
+            WorkerAssignment("", 8)
+
+
+class TestAllocationBasics:
+    def test_empty(self):
+        alloc = Allocation.empty()
+        assert len(alloc) == 0
+        assert alloc.jobs() == set()
+        assert alloc.free_gpus(range(4)) == [0, 1, 2, 3]
+
+    def test_job_views(self, simple_allocation):
+        assert simple_allocation.gpus_of("job-a") == [0, 1]
+        assert simple_allocation.global_batch("job-a") == 128
+        assert simple_allocation.num_gpus("job-b") == 2
+        assert simple_allocation.jobs() == {"job-a", "job-b"}
+        assert simple_allocation.used_gpus() == [0, 1, 2, 3]
+        assert simple_allocation.free_gpus(range(6)) == [4, 5]
+
+    def test_config_of(self, simple_allocation):
+        config = simple_allocation.config_of("job-a")
+        assert config.gpu_ids == (0, 1)
+        assert config.local_batches == (64, 64)
+        assert config.global_batch == 128
+        assert config.num_gpus == 2
+        assert simple_allocation.config_of("missing") is None
+
+    def test_from_job_map_rejects_shared_gpu(self):
+        with pytest.raises(ValueError, match="assigned to both"):
+            Allocation.from_job_map({"a": [(0, 8)], "b": [(0, 8)]})
+
+    def test_worker_on(self, simple_allocation):
+        assert simple_allocation.worker_on(0).job_id == "job-a"
+        assert simple_allocation.worker_on(5) is None
+
+
+class TestAllocationComparison:
+    def test_equality_and_hash(self, simple_allocation):
+        clone = Allocation(
+            {g: WorkerAssignment(j, b) for g, (j, b) in simple_allocation.as_dict().items()}
+        )
+        assert clone == simple_allocation
+        assert hash(clone) == hash(simple_allocation)
+
+    def test_changed_jobs_detects_batch_change(self, simple_allocation):
+        modified = dict(simple_allocation.as_dict())
+        modified[0] = ("job-a", 128)
+        other = Allocation.from_job_map(
+            {
+                "job-a": [(0, 128), (1, 64)],
+                "job-b": [(2, 32), (3, 32)],
+            }
+        )
+        assert simple_allocation.changed_jobs(other) == {"job-a"}
+
+    def test_changed_jobs_detects_removal(self, simple_allocation):
+        other = Allocation.from_job_map({"job-a": [(0, 64), (1, 64)]})
+        assert simple_allocation.changed_jobs(other) == {"job-b"}
+
+    def test_changed_jobs_empty_for_identical(self, simple_allocation):
+        assert simple_allocation.changed_jobs(simple_allocation) == set()
+
+
+class TestValidation:
+    def test_gpu_out_of_range(self, simple_allocation):
+        with pytest.raises(ValueError, match="outside the cluster"):
+            simple_allocation.validate(num_gpus=2)
+
+    def test_local_batch_limit(self, simple_allocation):
+        with pytest.raises(ValueError, match="exceeds its device limit"):
+            simple_allocation.validate(num_gpus=8, max_local_batch={"job-a": 32})
+
+    def test_valid_passes(self, simple_allocation):
+        simple_allocation.validate(num_gpus=8, max_local_batch={"job-a": 64, "job-b": 32})
+
+    def test_utilization(self, simple_allocation):
+        assert simple_allocation.utilization(8) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            simple_allocation.utilization(0)

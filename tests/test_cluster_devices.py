@@ -1,0 +1,52 @@
+"""Tests for repro.cluster.devices."""
+
+import pytest
+
+from repro.cluster.devices import GPUSpec, LONGHORN_NODE, NodeSpec, V100
+from repro.utils.units import GB, TERA
+
+
+class TestGPUSpec:
+    def test_v100_constants(self):
+        assert V100.name == "V100"
+        assert V100.peak_flops == pytest.approx(15.7 * TERA)
+        assert V100.memory_bytes == pytest.approx(16 * GB)
+
+    def test_effective_flops_increases_with_batch(self):
+        small = V100.effective_flops(1)
+        large = V100.effective_flops(256)
+        assert 0 < small < large < V100.peak_flops
+
+    def test_effective_flops_bounded_by_achievable(self):
+        assert V100.effective_flops(10_000) <= V100.peak_flops * V100.achievable_fraction
+
+    def test_zero_batch_gives_zero(self):
+        assert V100.effective_flops(0) == 0.0
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec(name="bad", peak_flops=-1, memory_bytes=16 * GB)
+        with pytest.raises(ValueError):
+            GPUSpec(
+                name="bad",
+                peak_flops=1 * TERA,
+                memory_bytes=16 * GB,
+                achievable_fraction=1.5,
+            )
+
+
+class TestNodeSpec:
+    def test_longhorn_layout(self):
+        assert LONGHORN_NODE.gpus_per_node == 4
+        assert LONGHORN_NODE.gpu is V100
+        assert LONGHORN_NODE.intra_node_bandwidth > LONGHORN_NODE.inter_node_bandwidth
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(
+                name="bad",
+                gpus_per_node=0,
+                gpu=V100,
+                intra_node_bandwidth=1 * GB,
+                inter_node_bandwidth=1 * GB,
+            )

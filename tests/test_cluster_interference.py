@@ -1,0 +1,45 @@
+"""Tests for repro.cluster.interference."""
+
+import pytest
+
+from repro.cluster.interference import InterferenceModel
+
+
+class TestInterferenceModel:
+    def test_exclusive_has_no_slowdown(self):
+        model = InterferenceModel()
+        assert model.slowdown(1) == 1.0
+
+    def test_sharing_is_worse_than_fair_share(self):
+        model = InterferenceModel()
+        assert model.slowdown(2) < 0.5
+
+    def test_more_colocation_is_worse(self):
+        model = InterferenceModel()
+        assert model.slowdown(3) < model.slowdown(2)
+
+    def test_memory_pressure_penalty(self):
+        model = InterferenceModel()
+        assert model.slowdown(2, memory_oversubscribed=True) < model.slowdown(2)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceModel().slowdown(0)
+
+    def test_aggregate_efficiency_below_one(self):
+        model = InterferenceModel()
+        # The whole point of Eq. 4: a shared GPU does less total work.
+        assert model.aggregate_efficiency(2) < 1.0
+        assert model.aggregate_efficiency(1) == 1.0
+
+    def test_effective_throughputs(self):
+        model = InterferenceModel()
+        shared = model.effective_throughputs([100.0, 100.0])
+        assert len(shared) == 2
+        assert all(v < 50.0 for v in shared)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceModel(sharing_penalty=-0.1)
+        with pytest.raises(ValueError):
+            InterferenceModel(memory_pressure_penalty=1.5)

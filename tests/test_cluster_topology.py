@@ -1,0 +1,84 @@
+"""Tests for repro.cluster.topology."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology, make_longhorn_cluster
+
+
+class TestConstruction:
+    def test_longhorn_64(self):
+        cluster = make_longhorn_cluster(64)
+        assert cluster.num_gpus == 64
+        assert cluster.num_nodes == 16
+        assert cluster.gpus_per_node == 4
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            make_longhorn_cluster(10)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(0)
+
+
+class TestLayout:
+    def test_node_of_vectorised(self, small_topology):
+        nodes = small_topology.node_of([0, 3, 4, 7])
+        assert list(nodes) == [0, 0, 1, 1]
+
+    def test_gpus_of_node(self, small_topology):
+        assert list(small_topology.gpus_of_node(1)) == [4, 5, 6, 7]
+
+    def test_gpu_handle(self, small_topology):
+        handle = small_topology.gpu(5)
+        assert handle.gpu_id == 5
+        assert handle.node_id == 1
+
+    def test_gpu_out_of_range(self, small_topology):
+        with pytest.raises(IndexError):
+            small_topology.gpu(100)
+
+    def test_node_out_of_range(self, small_topology):
+        with pytest.raises(IndexError):
+            small_topology.gpus_of_node(5)
+
+    def test_all_gpu_ids(self, small_topology):
+        assert np.array_equal(small_topology.all_gpu_ids(), np.arange(8))
+
+
+class TestBandwidth:
+    def test_intra_node_faster_than_inter(self, small_topology):
+        intra = small_topology.link_bandwidth(0, 0)
+        inter = small_topology.link_bandwidth(0, 1)
+        assert intra > inter
+
+    def test_ring_bandwidth_single_node(self, small_topology):
+        bw = small_topology.ring_bandwidth([0, 1, 2, 3])
+        assert bw == pytest.approx(small_topology.node_spec.intra_node_bandwidth)
+
+    def test_ring_bandwidth_cross_node_is_bottlenecked(self, small_topology):
+        bw = small_topology.ring_bandwidth([0, 1, 4, 5])
+        assert bw == pytest.approx(small_topology.node_spec.inter_node_bandwidth)
+
+    def test_ring_bandwidth_empty_raises(self, small_topology):
+        with pytest.raises(ValueError):
+            small_topology.ring_bandwidth([])
+
+    def test_ring_latency_grows_cross_node(self, small_topology):
+        local = small_topology.ring_latency([0, 1])
+        remote = small_topology.ring_latency([0, 4])
+        assert remote > local
+
+
+class TestSummaries:
+    def test_nodes_spanned(self, small_topology):
+        assert small_topology.nodes_spanned([0, 1]) == 1
+        assert small_topology.nodes_spanned([0, 4]) == 2
+        assert small_topology.nodes_spanned([]) == 0
+
+    def test_describe(self, small_topology):
+        info = small_topology.describe()
+        assert info["gpus"] == 8
+        assert info["nodes"] == 2
+        assert info["gpu"] == "V100"

@@ -1,0 +1,78 @@
+"""Tests for repro.core.population."""
+
+import numpy as np
+import pytest
+
+from repro.core.population import Population, initial_population
+from repro.core.schedule import IDLE, Schedule
+from tests._core_helpers import make_context, make_jobs
+
+
+class TestPopulation:
+    def test_add_and_len(self):
+        jobs = make_jobs(2)
+        ctx = make_context(jobs, num_gpus=4)
+        pop = Population()
+        pop.add(Schedule.empty(ctx.roster, 4))
+        pop.extend([Schedule.empty(ctx.roster, 4)])
+        assert len(pop) == 2
+
+    def test_unique_dedups_by_genome(self):
+        jobs = make_jobs(2)
+        ctx = make_context(jobs, num_gpus=4)
+        a = Schedule(roster=ctx.roster, genome=np.array([0, 1, IDLE, IDLE]))
+        b = Schedule(roster=ctx.roster, genome=np.array([0, 1, IDLE, IDLE]))
+        c = Schedule(roster=ctx.roster, genome=np.array([1, 0, IDLE, IDLE]))
+        pop = Population([a, b, c])
+        assert len(pop.unique()) == 2
+        assert pop.diversity() == pytest.approx(2 / 3)
+
+    def test_reindexed(self):
+        jobs = make_jobs(2)
+        ctx = make_context(jobs, num_gpus=4)
+        pop = Population([Schedule(roster=ctx.roster, genome=np.array([0, 1, IDLE, IDLE]))])
+        reindexed = pop.reindexed(("job-1",))
+        assert reindexed.members[0].gpu_count("job-1") == 1
+        assert reindexed.members[0].gpu_count("job-0") == 0
+
+    def test_empty_diversity(self):
+        assert Population().diversity() == 0.0
+
+
+class TestInitialPopulation:
+    def test_size_and_validity(self):
+        jobs = make_jobs(3)
+        ctx = make_context(jobs, num_gpus=8)
+        pop = initial_population(ctx, size=6, seed=1)
+        assert len(pop) == 6
+        for member in pop:
+            assert member.roster == ctx.roster
+            assert member.num_gpus == 8
+
+    def test_members_are_executable(self):
+        """Initial candidates respect the one-GPU-minimum per placed job."""
+        jobs = make_jobs(3)
+        ctx = make_context(jobs, num_gpus=8)
+        pop = initial_population(ctx, size=4, seed=2)
+        for member in pop:
+            for job_id, count in member.gpu_counts().items():
+                assert count >= 1
+
+    def test_current_schedule_seeded(self):
+        jobs = make_jobs(2)
+        ctx = make_context(jobs, num_gpus=4)
+        current = Schedule(roster=ctx.roster, genome=np.array([0, 0, 1, 1]))
+        pop = initial_population(ctx, size=3, current=current, seed=3)
+        assert len(pop) == 4
+
+    def test_no_jobs_gives_idle_members(self):
+        ctx = make_context({}, num_gpus=4)
+        pop = initial_population(ctx, size=2, seed=4)
+        for member in pop:
+            assert member.placed_jobs() == []
+
+    def test_invalid_size(self):
+        jobs = make_jobs(1)
+        ctx = make_context(jobs, num_gpus=4)
+        with pytest.raises(ValueError):
+            initial_population(ctx, size=0)

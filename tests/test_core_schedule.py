@@ -1,0 +1,127 @@
+"""Tests for repro.core.schedule (the genome of Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.allocation import Allocation, WorkerAssignment
+from repro.core.schedule import IDLE, Schedule
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def roster():
+    return ("job-a", "job-b", "job-c")
+
+
+@pytest.fixture
+def schedule(roster):
+    # job-a on GPUs 0,1; job-b on GPU 2; GPU 3 idle.
+    return Schedule(roster=roster, genome=np.array([0, 0, 1, IDLE]))
+
+
+class TestConstruction:
+    def test_empty(self, roster):
+        sched = Schedule.empty(roster, 4)
+        assert sched.idle_gpus() == [0, 1, 2, 3]
+        assert sched.placed_jobs() == []
+        assert sched.waiting_jobs() == list(roster)
+
+    def test_duplicate_roster_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule(roster=("a", "a"), genome=np.array([0]))
+
+    def test_out_of_range_genome_rejected(self, roster):
+        with pytest.raises(ValueError):
+            Schedule(roster=roster, genome=np.array([5]))
+        with pytest.raises(ValueError):
+            Schedule(roster=roster, genome=np.array([-2]))
+
+    def test_from_assignment(self, roster):
+        sched = Schedule.from_assignment(roster, 4, {0: "job-b", 3: "job-a"})
+        assert sched.job_id_at(0) == "job-b"
+        assert sched.job_id_at(3) == "job-a"
+        assert sched.job_id_at(1) is None
+
+    def test_from_assignment_unknown_job(self, roster):
+        with pytest.raises(KeyError):
+            Schedule.from_assignment(roster, 4, {0: "mystery"})
+
+    def test_from_allocation_drops_unknown_jobs(self, roster):
+        alloc = Allocation(
+            {0: WorkerAssignment("job-a", 8), 1: WorkerAssignment("finished", 8)}
+        )
+        sched = Schedule.from_allocation(roster, 4, alloc)
+        assert sched.job_id_at(0) == "job-a"
+        assert sched.job_id_at(1) is None
+
+
+class TestQueries:
+    def test_counts(self, schedule):
+        assert schedule.gpu_count("job-a") == 2
+        assert schedule.gpu_count("job-b") == 1
+        assert schedule.gpu_count("job-c") == 0
+        assert schedule.gpu_count("unknown") == 0
+        assert schedule.gpu_counts() == {"job-a": 2, "job-b": 1}
+
+    def test_gpus_of(self, schedule):
+        assert schedule.gpus_of("job-a") == [0, 1]
+        assert schedule.gpus_of("job-c") == []
+
+    def test_placed_and_waiting(self, schedule):
+        assert schedule.placed_jobs() == ["job-a", "job-b"]
+        assert schedule.waiting_jobs() == ["job-c"]
+        assert schedule.idle_gpus() == [3]
+
+
+class TestBatchDerivation:
+    def test_batch_capped_by_limit(self, schedule):
+        job = make_job(job_id="job-a")
+        batch = schedule.global_batch(job, limit=100)
+        assert batch == 100
+
+    def test_batch_capped_by_device_memory(self, schedule):
+        job = make_job(job_id="job-a")
+        huge_limit = 10**6
+        batch = schedule.global_batch(job, limit=huge_limit)
+        assert batch == min(2 * job.spec.max_local_batch, job.dataset_size)
+
+    def test_batch_at_least_one_per_worker(self, schedule):
+        job = make_job(job_id="job-a")
+        assert schedule.global_batch(job, limit=1) == 2
+
+    def test_unplaced_job_has_zero_batch(self, schedule):
+        job = make_job(job_id="job-c")
+        assert schedule.global_batch(job, limit=100) == 0
+        assert schedule.local_batches(job, limit=100) == []
+
+    def test_local_batches_sum_to_global(self, schedule):
+        job = make_job(job_id="job-a")
+        local = schedule.local_batches(job, limit=100)
+        assert sum(local) == schedule.global_batch(job, limit=100)
+
+
+class TestConversions:
+    def test_to_allocation(self, schedule):
+        jobs = {"job-a": make_job(job_id="job-a"), "job-b": make_job(job_id="job-b")}
+        limits = {"job-a": 100, "job-b": 64}
+        alloc = schedule.to_allocation(jobs, limits)
+        assert alloc.num_gpus("job-a") == 2
+        assert alloc.global_batch("job-a") == 100
+        assert alloc.global_batch("job-b") == 64
+
+    def test_reindexed_drops_missing_jobs(self, schedule):
+        new = schedule.reindexed(("job-b", "job-d"))
+        assert new.gpu_count("job-b") == 1
+        assert new.gpu_count("job-a") == 0
+        assert new.idle_gpus() == [0, 1, 3]
+
+    def test_with_genome_preserves_roster(self, schedule, roster):
+        new = schedule.with_genome(np.array([2, 2, 2, 2]))
+        assert new.roster == roster
+        assert new.gpu_count("job-c") == 4
+
+    def test_equality_and_key(self, schedule, roster):
+        clone = Schedule(roster=roster, genome=np.array([0, 0, 1, IDLE]))
+        assert clone == schedule
+        assert clone.key() == schedule.key()
+        assert hash(clone) == hash(schedule)

@@ -1,0 +1,124 @@
+"""Tests for repro.core.scoring (SRUF / Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import IDLE, Schedule
+from repro.core.scoring import (
+    candidate_score,
+    probability_sample,
+    sample_progress,
+    score_candidates,
+    select_top_k,
+)
+from repro.prediction.beta import BetaDistribution
+from tests._core_helpers import make_context, make_jobs
+
+
+@pytest.fixture
+def context():
+    jobs = make_jobs(3)
+    # Give jobs some processed history so Eq. 8 has non-zero terms.
+    for i, job in enumerate(jobs.values()):
+        job.start_running(0.0, [i], [64])
+        job.advance(2000 * (i + 1), 10.0)
+    return make_context(jobs, num_gpus=4)
+
+
+def _schedule(context, counts):
+    """Build a schedule giving counts[i] GPUs to job-i."""
+    genome = np.full(4, IDLE, dtype=np.int64)
+    cursor = 0
+    for idx, count in enumerate(counts):
+        for _ in range(count):
+            genome[cursor] = idx
+            cursor += 1
+    return Schedule(roster=context.roster, genome=genome)
+
+
+class TestSampleProgress:
+    def test_one_sample_per_job(self, context):
+        samples = sample_progress(context.jobs, context.distributions, rng=0)
+        assert set(samples) == set(context.jobs)
+        assert all(0 < v < 1 for v in samples.values())
+
+    def test_missing_distribution_uses_uniform(self, context):
+        samples = sample_progress(context.jobs, {}, rng=0)
+        assert len(samples) == len(context.jobs)
+
+
+class TestCandidateScore:
+    def test_score_is_finite_and_positive(self, context):
+        schedule = _schedule(context, [2, 1, 1])
+        progress = {j: 0.5 for j in context.roster}
+        score = candidate_score(schedule, context.jobs, progress, context.throughput_fn)
+        assert np.isfinite(score)
+        assert score > 0
+
+    def test_new_jobs_cost_nothing(self, context):
+        """Eq. 8: a job with no processed samples contributes zero."""
+        fresh_jobs = make_jobs(2)
+        ctx = make_context(fresh_jobs, num_gpus=4)
+        schedule = Schedule(roster=ctx.roster, genome=np.array([0, 1, IDLE, IDLE]))
+        score = candidate_score(schedule, ctx.jobs, {j: 0.5 for j in ctx.roster}, ctx.throughput_fn)
+        assert score == 0.0
+
+    def test_lower_progress_means_higher_score(self, context):
+        schedule = _schedule(context, [2, 1, 1])
+        optimistic = {j: 0.9 for j in context.roster}
+        pessimistic = {j: 0.1 for j in context.roster}
+        assert candidate_score(
+            schedule, context.jobs, pessimistic, context.throughput_fn
+        ) > candidate_score(schedule, context.jobs, optimistic, context.throughput_fn)
+
+    def test_score_candidates_vectorises(self, context):
+        schedules = [_schedule(context, [2, 1, 1]), _schedule(context, [1, 2, 1])]
+        progress = {j: 0.5 for j in context.roster}
+        scores = score_candidates(schedules, context.jobs, progress, context.throughput_fn)
+        assert scores.shape == (2,)
+
+
+class TestProbabilitySample:
+    def test_returns_best_candidate(self, context):
+        good = _schedule(context, [2, 1, 1])
+        # A candidate that leaves the heaviest job unscheduled scores lower
+        # utilisation but probability_sample only compares what is given.
+        candidates = [good, _schedule(context, [1, 1, 1])]
+        best, score = probability_sample(
+            candidates, context.jobs, context.distributions, context.throughput_fn, rng=1
+        )
+        assert best in candidates
+        assert np.isfinite(score)
+
+    def test_empty_candidates_rejected(self, context):
+        with pytest.raises(ValueError):
+            probability_sample([], context.jobs, context.distributions, context.throughput_fn)
+
+
+class TestSelectTopK:
+    def test_returns_k_sorted_unique(self, context):
+        candidates = [
+            _schedule(context, [2, 1, 1]),
+            _schedule(context, [1, 2, 1]),
+            _schedule(context, [1, 1, 2]),
+            _schedule(context, [2, 1, 1]),  # duplicate genome
+        ]
+        survivors = select_top_k(
+            candidates, context.jobs, context.distributions, context.throughput_fn, k=3, rng=2
+        )
+        assert len(survivors) == 3
+        scores = [s for _, s in survivors]
+        assert scores == sorted(scores)
+        keys = {sched.key() for sched, _ in survivors}
+        assert len(keys) == 3
+
+    def test_k_larger_than_pool(self, context):
+        candidates = [_schedule(context, [2, 1, 1])]
+        survivors = select_top_k(
+            candidates, context.jobs, context.distributions, context.throughput_fn, k=5, rng=2
+        )
+        assert len(survivors) == 1
+
+    def test_invalid_k(self, context):
+        with pytest.raises(ValueError):
+            select_top_k([], context.jobs, context.distributions, context.throughput_fn, k=0)

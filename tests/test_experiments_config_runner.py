@@ -1,0 +1,99 @@
+"""Tests for repro.experiments.config and repro.experiments.runner."""
+
+import pytest
+
+from repro.baselines.fifo import FIFOScheduler
+from repro.baselines.tiresias import TiresiasScheduler
+from repro.core.evolution import EvolutionConfig
+from repro.core.ones_scheduler import ONESConfig, ONESScheduler
+from repro.experiments.config import ExperimentConfig, default_schedulers
+from repro.experiments.runner import (
+    generate_trace,
+    run_comparison,
+    run_scalability_sweep,
+    run_single,
+)
+from repro.workload.trace import TraceConfig
+
+
+def _fast_schedulers():
+    """Cheap scheduler pair used to keep runner tests quick."""
+    return {
+        "ONES": lambda seed: ONESScheduler(
+            ONESConfig(evolution=EvolutionConfig(population_size=4)), seed=seed
+        ),
+        "Tiresias": lambda seed: TiresiasScheduler(),
+    }
+
+
+@pytest.fixture
+def small_config():
+    config = ExperimentConfig.small(num_gpus=8, num_jobs=4, seed=9)
+    config.trace = TraceConfig(num_jobs=4, arrival_rate=1.0 / 10.0, convergence_patience=3)
+    return config
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper_setup(self):
+        config = ExperimentConfig()
+        assert config.num_gpus == 64
+        assert config.trace.num_jobs == 50
+        assert set(config.scheduler_factories()) == {"ONES", "DRL", "Tiresias", "Optimus"}
+
+    def test_default_schedulers_are_fresh_instances(self):
+        factories = default_schedulers()
+        a = factories["ONES"](1)
+        b = factories["ONES"](1)
+        assert a is not b
+
+    def test_small_preset(self):
+        config = ExperimentConfig.small(num_gpus=16, num_jobs=10)
+        assert config.num_gpus == 16
+        assert config.trace.num_jobs == 10
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_gpus=0)
+
+
+class TestRunner:
+    def test_generate_trace_is_deterministic(self, small_config):
+        a = generate_trace(small_config)
+        b = generate_trace(small_config)
+        assert [j.job_id for j in a] == [j.job_id for j in b]
+        assert [j.task for j in a] == [j.task for j in b]
+
+    def test_run_single(self, small_config):
+        trace = generate_trace(small_config)
+        result = run_single(FIFOScheduler(), trace, small_config)
+        assert result.scheduler_name == "FIFO"
+        assert result.num_gpus == 8
+        assert len(result.completed) == len(trace)
+
+    def test_run_comparison_shares_trace(self, small_config):
+        comparison = run_comparison(small_config, schedulers=_fast_schedulers())
+        assert set(comparison.results) == {"ONES", "Tiresias"}
+        for result in comparison.results.values():
+            assert set(result.completed) == {j.job_id for j in comparison.trace}
+
+    def test_comparison_averages_and_improvements(self, small_config):
+        comparison = run_comparison(small_config, schedulers=_fast_schedulers())
+        averages = comparison.averages("jct")
+        assert set(averages) == {"ONES", "Tiresias"}
+        improvements = comparison.improvements("ONES")
+        assert set(improvements) == {"Tiresias"}
+        relative = comparison.relative_jct("ONES")
+        assert relative["ONES"] == pytest.approx(1.0)
+
+    def test_improvements_unknown_reference(self, small_config):
+        comparison = run_comparison(small_config, schedulers=_fast_schedulers())
+        with pytest.raises(KeyError):
+            comparison.improvements("SLAQ")
+
+    def test_scalability_sweep(self, small_config):
+        sweep = run_scalability_sweep(
+            capacities=(8, 16), base_config=small_config, schedulers=_fast_schedulers()
+        )
+        assert set(sweep) == {8, 16}
+        for capacity, comparison in sweep.items():
+            assert comparison.config.num_gpus == capacity

@@ -1,0 +1,57 @@
+"""Tests for repro.experiments.report."""
+
+import pytest
+
+from repro.baselines.fifo import FIFOScheduler
+from repro.baselines.tiresias import TiresiasScheduler
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import build_comparison_report, write_comparison_report
+from repro.experiments.runner import run_comparison
+from repro.workload.trace import TraceConfig
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    config = ExperimentConfig(
+        num_gpus=8,
+        trace=TraceConfig(num_jobs=4, arrival_rate=1.0 / 10.0, convergence_patience=3),
+        seed=11,
+        schedulers={
+            "FIFO": lambda seed: FIFOScheduler(),
+            "Tiresias": lambda seed: TiresiasScheduler(),
+        },
+    )
+    return run_comparison(config)
+
+
+class TestBuildReport:
+    def test_contains_all_sections(self, comparison):
+        report = build_comparison_report(comparison, reference="FIFO")
+        assert report.startswith("# Scheduler comparison report")
+        assert "## Average metrics" in report
+        assert "## JCT distribution" in report
+        assert "## FIFO vs the baselines" in report
+        assert "## Cluster telemetry" in report
+
+    def test_lists_every_scheduler(self, comparison):
+        report = build_comparison_report(comparison, reference="FIFO")
+        assert "FIFO" in report and "Tiresias" in report
+
+    def test_reference_missing_skips_comparison_section(self, comparison):
+        report = build_comparison_report(comparison, reference="ONES")
+        assert "## ONES vs the baselines" not in report
+        assert "## Average metrics" in report
+
+    def test_markdown_tables_are_well_formed(self, comparison):
+        report = build_comparison_report(comparison, reference="FIFO")
+        table_lines = [l for l in report.splitlines() if l.startswith("|")]
+        assert table_lines
+        # Every table row has the same number of columns as its header.
+        assert all(line.count("|") >= 3 for line in table_lines)
+
+
+class TestWriteReport:
+    def test_writes_file(self, comparison, tmp_path):
+        path = write_comparison_report(comparison, tmp_path / "report.md", reference="FIFO")
+        assert path.exists()
+        assert path.read_text().startswith("# Scheduler comparison report")

@@ -1,0 +1,105 @@
+"""End-to-end integration tests: the four schedulers on a shared trace.
+
+These are the scaled-down versions of the paper's Fig. 15 run: a small
+Table-2 trace on a small cluster, each scheduler replaying the exact same
+workload, with assertions on the *shape* of the outcome rather than on
+absolute numbers.
+"""
+
+import pytest
+
+from repro.baselines.drl import DRLScheduler
+from repro.baselines.optimus import OptimusScheduler
+from repro.baselines.tiresias import TiresiasScheduler
+from repro.cluster.topology import make_longhorn_cluster
+from repro.core.evolution import EvolutionConfig
+from repro.core.ones_scheduler import ONESConfig, ONESScheduler
+from repro.sim.simulator import ClusterSimulator, SimulationConfig
+from repro.workload.trace import TraceConfig, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def shared_trace():
+    config = TraceConfig(num_jobs=8, arrival_rate=1.0 / 15.0, convergence_patience=4)
+    return TraceGenerator(config, seed=17).generate()
+
+
+def _run(scheduler, trace, num_gpus=16):
+    topology = make_longhorn_cluster(num_gpus)
+    return ClusterSimulator(
+        topology, scheduler, trace, config=SimulationConfig(max_time=48 * 3600)
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def all_results(shared_trace):
+    return {
+        "ONES": _run(
+            ONESScheduler(ONESConfig(evolution=EvolutionConfig(population_size=6)), seed=2),
+            shared_trace,
+        ),
+        "DRL": _run(DRLScheduler(seed=2), shared_trace),
+        "Tiresias": _run(TiresiasScheduler(), shared_trace),
+        "Optimus": _run(OptimusScheduler(), shared_trace),
+    }
+
+
+class TestAllSchedulersComplete:
+    def test_every_scheduler_finishes_every_job(self, all_results, shared_trace):
+        for name, result in all_results.items():
+            assert result.incomplete == [], name
+            assert set(result.completed) == {j.job_id for j in shared_trace}, name
+
+    def test_metrics_are_positive_and_consistent(self, all_results):
+        for name, result in all_results.items():
+            assert result.average_jct > 0, name
+            assert result.average_execution_time > 0, name
+            assert result.average_queuing_time >= 0, name
+            assert result.average_jct >= result.average_execution_time - 1e-6, name
+
+    def test_utilization_in_unit_interval(self, all_results):
+        for name, result in all_results.items():
+            assert 0 < result.gpu_utilization <= 1.0, name
+
+
+class TestPaperShape:
+    def test_ones_has_lowest_average_jct(self, all_results):
+        """The headline result of Fig. 15a."""
+        averages = {name: r.average_jct for name, r in all_results.items()}
+        assert averages["ONES"] == min(averages.values()), averages
+
+    def test_ones_reduces_execution_time_vs_fixed_size_scheduler(self, all_results):
+        """Fig. 15b: elastic batch scaling trains faster than fixed-size Tiresias."""
+        assert (
+            all_results["ONES"].average_execution_time
+            < all_results["Tiresias"].average_execution_time
+        )
+
+    def test_optimus_queuing_dominated_by_interval(self, all_results):
+        """Fig. 15c: Optimus's 10-minute rounds inflate queuing time."""
+        assert (
+            all_results["Optimus"].average_queuing_time
+            > all_results["ONES"].average_queuing_time
+        )
+
+    def test_wilcoxon_table_is_computable(self, all_results):
+        from repro.analysis.stats import significance_table
+
+        ones = all_results["ONES"]
+        baselines = [all_results[n] for n in ("DRL", "Tiresias", "Optimus")]
+        table = significance_table(ones, baselines)
+        assert set(table) == {"DRL", "Tiresias", "Optimus"}
+        for report in table.values():
+            assert 0.0 <= report.p_two_sided <= 1.0
+
+    def test_ones_reconfigures_more_but_cheaply(self, all_results):
+        """ONES re-configures often (elastic scaling is cheap)."""
+        assert (
+            all_results["ONES"].num_reconfigurations
+            >= all_results["Tiresias"].num_reconfigurations
+        )
+        ones_overhead = sum(
+            m["reconfig_overhead"] for m in all_results["ONES"].completed.values()
+        )
+        ones_exec = sum(m["execution_time"] for m in all_results["ONES"].completed.values())
+        assert ones_overhead < 0.25 * ones_exec

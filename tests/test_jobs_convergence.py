@@ -1,0 +1,141 @@
+"""Tests for repro.jobs.convergence."""
+
+import numpy as np
+import pytest
+
+from repro.jobs.convergence import ConvergenceProfile, LossCurveSimulator
+from tests.conftest import make_profile
+
+
+class TestProfileValidation:
+    def test_target_above_max_rejected(self):
+        with pytest.raises(ValueError):
+            ConvergenceProfile(
+                base_epochs_to_target=5,
+                target_accuracy=0.95,
+                max_accuracy=0.9,
+                initial_loss=2.0,
+                final_loss=0.1,
+                reference_batch=128,
+                critical_batch=512,
+            )
+
+    def test_loss_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            ConvergenceProfile(
+                base_epochs_to_target=5,
+                target_accuracy=0.8,
+                max_accuracy=0.9,
+                initial_loss=0.1,
+                final_loss=0.2,
+                reference_batch=128,
+                critical_batch=512,
+            )
+
+
+class TestEpochPenalty:
+    def test_no_penalty_below_critical(self):
+        profile = make_profile(critical_batch=512)
+        assert profile.epoch_penalty(256) == pytest.approx(1.0)
+        assert profile.epoch_penalty(512) == pytest.approx(1.0)
+
+    def test_penalty_grows_with_batch(self):
+        profile = make_profile(critical_batch=512)
+        assert profile.epoch_penalty(4096) > profile.epoch_penalty(1024) > 1.0
+
+    def test_unscaled_lr_is_worse(self):
+        profile = make_profile(critical_batch=512)
+        assert profile.epoch_penalty(2048, lr_scaled=False) > profile.epoch_penalty(2048, lr_scaled=True)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            make_profile().epoch_penalty(0)
+
+    def test_progress_is_inverse_of_penalty(self):
+        profile = make_profile()
+        batch = 2048
+        assert profile.epoch_progress(batch) == pytest.approx(1.0 / profile.epoch_penalty(batch))
+
+
+class TestAccuracyAndLoss:
+    def test_accuracy_hits_target_at_base_epochs(self):
+        profile = make_profile(base_epochs=8.0, target=0.8)
+        assert profile.accuracy_at(8.0) == pytest.approx(0.8, rel=1e-6)
+
+    def test_accuracy_monotone_and_bounded(self):
+        profile = make_profile()
+        values = [profile.accuracy_at(e) for e in np.linspace(0, 100, 30)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] <= profile.max_accuracy
+
+    def test_loss_monotone_decreasing(self):
+        profile = make_profile()
+        values = [profile.loss_at(e) for e in np.linspace(0, 60, 20)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+        assert values[0] <= profile.initial_loss + 1e-9
+
+    def test_epochs_to_target_grows_with_batch(self):
+        profile = make_profile(critical_batch=512)
+        assert profile.epochs_to_target(4096) > profile.epochs_to_target(256)
+
+    def test_figure3_shape_more_gpus_slower_convergence(self):
+        """Fig. 3: fixed local batch 256 with more GPUs converges slower."""
+        profile = make_profile(critical_batch=512)
+        epochs = 60
+        curves = {
+            c: profile.accuracy_curve(epochs, 256 * c, lr_scaled=False) for c in (1, 2, 4, 8)
+        }
+        at_epoch_30 = [curves[c][29] for c in (1, 2, 4, 8)]
+        assert all(b <= a + 1e-12 for a, b in zip(at_epoch_30, at_epoch_30[1:]))
+        assert curves[8][29] < curves[1][29]
+
+
+class TestScalingSpikes:
+    def test_no_spike_for_downscale_or_small_jump(self):
+        profile = make_profile()
+        assert profile.abrupt_scaling_spike(1024, 256) == 0.0
+        assert profile.abrupt_scaling_spike(256, 512) == 0.0
+
+    def test_spike_for_large_jump(self):
+        profile = make_profile()
+        assert profile.abrupt_scaling_spike(256, 4096) > 0.0
+
+    def test_spike_grows_with_jump(self):
+        profile = make_profile()
+        assert profile.abrupt_scaling_spike(256, 8192) > profile.abrupt_scaling_spike(256, 2048)
+
+    def test_setback_bounded_by_recovery(self):
+        profile = make_profile()
+        spike = profile.abrupt_scaling_spike(256, 8192)
+        assert 0 < profile.spike_setback_epochs(spike) < profile.spike_recovery_epochs
+
+
+class TestLossCurveSimulator:
+    def test_figure13_abrupt_jump_causes_loss_spike(self):
+        profile = make_profile(base_epochs=20)
+        abrupt = LossCurveSimulator(profile)
+        abrupt.run_schedule([(256, 30), (4096, 30)])
+        fixed = LossCurveSimulator(profile)
+        fixed.run_schedule([(256, 60)])
+        # Right after the switch the abrupt curve is above the fixed curve.
+        assert abrupt.losses[30] > fixed.losses[30]
+        assert abrupt.losses[31] > abrupt.losses[29]
+
+    def test_figure14_gradual_growth_stays_smooth(self):
+        profile = make_profile(base_epochs=20)
+        gradual = LossCurveSimulator(profile)
+        gradual.run_schedule([(256, 30), (512, 1), (1024, 29), (2048, 1), (4096, 29)])
+        diffs = np.diff(gradual.losses)
+        # No epoch-to-epoch increase larger than a small tolerance.
+        assert diffs.max() < 0.05
+
+    def test_requires_set_batch_before_epoch(self):
+        sim = LossCurveSimulator(make_profile())
+        with pytest.raises(RuntimeError):
+            sim.run_epoch()
+
+    def test_accuracies_recorded(self):
+        sim = LossCurveSimulator(make_profile())
+        sim.run_schedule([(128, 5)])
+        assert len(sim.accuracies) == 5
+        assert sim.accuracies[-1] > sim.accuracies[0]

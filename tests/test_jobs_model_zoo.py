@@ -1,0 +1,57 @@
+"""Tests for repro.jobs.model_zoo."""
+
+import pytest
+
+from repro.jobs.model_zoo import MODEL_ZOO, ModelSpec, get_model
+
+
+class TestModelZoo:
+    def test_contains_table2_models(self):
+        for name in ("alexnet", "resnet18", "resnet50", "vgg16", "googlenet", "inceptionv3", "bert"):
+            assert name in MODEL_ZOO
+
+    def test_contains_lstm_for_fig16(self):
+        assert "lstm" in MODEL_ZOO
+
+    def test_get_model_case_insensitive(self):
+        assert get_model("ResNet50") is MODEL_ZOO["resnet50"]
+
+    def test_get_model_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="available models"):
+            get_model("transformer-xl")
+
+    def test_vgg_is_heaviest_cnn_by_parameters(self):
+        assert MODEL_ZOO["vgg16"].num_parameters > MODEL_ZOO["resnet50"].num_parameters
+
+    def test_gradient_bytes(self):
+        model = MODEL_ZOO["resnet50"]
+        assert model.gradient_bytes == pytest.approx(model.num_parameters * 4.0)
+
+    def test_checkpoint_bytes_default(self):
+        model = MODEL_ZOO["resnet18"]
+        assert model.checkpoint_bytes == pytest.approx(3 * model.gradient_bytes)
+
+
+class TestModelSpec:
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ModelSpec(name="x", num_parameters=0, flops_per_sample=1e9, max_local_batch=8)
+        with pytest.raises(ValueError):
+            ModelSpec(name="x", num_parameters=1e6, flops_per_sample=1e9, max_local_batch=0)
+
+    def test_scaled_reduces_flops(self):
+        base = get_model("resnet50")
+        scaled = base.scaled(0.1, "@cifar10")
+        assert scaled.flops_per_sample == pytest.approx(0.1 * base.flops_per_sample)
+        assert scaled.name.endswith("@cifar10")
+        assert scaled.num_parameters == base.num_parameters
+
+    def test_scaled_grows_local_batch_but_bounded(self):
+        base = get_model("resnet50")
+        scaled = base.scaled(0.01)
+        assert scaled.max_local_batch > base.max_local_batch
+        assert scaled.max_local_batch <= base.max_local_batch * 8
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            get_model("resnet50").scaled(0.0)

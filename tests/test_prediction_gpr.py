@@ -1,0 +1,84 @@
+"""Tests for repro.prediction.gpr."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.gpr import GaussianProcessRegression, rbf_kernel
+
+
+class TestRBFKernel:
+    def test_diagonal_is_signal_variance(self):
+        X = np.random.default_rng(0).normal(size=(5, 3))
+        K = rbf_kernel(X, X, signal_variance=2.0, length_scale=1.0)
+        assert np.allclose(np.diag(K), 2.0)
+
+    def test_symmetry_and_psd(self):
+        X = np.random.default_rng(1).normal(size=(20, 4))
+        K = rbf_kernel(X, X, 1.0, 1.5)
+        assert np.allclose(K, K.T)
+        eigvals = np.linalg.eigvalsh(K)
+        assert eigvals.min() > -1e-8
+
+    def test_decay_with_distance(self):
+        a = np.zeros((1, 2))
+        near = np.array([[0.1, 0.0]])
+        far = np.array([[5.0, 0.0]])
+        assert rbf_kernel(a, near, 1.0, 1.0)[0, 0] > rbf_kernel(a, far, 1.0, 1.0)[0, 0]
+
+
+@pytest.fixture
+def smooth_data(rng):
+    X = np.sort(rng.uniform(-3, 3, size=(80, 1)), axis=0)
+    y = np.sin(X[:, 0]) * 3.0 + rng.normal(scale=0.05, size=80)
+    return X, y
+
+
+class TestFitPredict:
+    def test_interpolates_smooth_function(self, smooth_data):
+        X, y = smooth_data
+        model = GaussianProcessRegression(random_state=0).fit(X, y)
+        pred = model.predict(X)
+        assert np.mean(np.abs(pred - y)) < 0.2
+
+    def test_predictive_uncertainty_grows_off_data(self, smooth_data):
+        X, y = smooth_data
+        model = GaussianProcessRegression(random_state=0).fit(X, y)
+        _, std_in = model.predict(np.array([[0.0]]), return_std=True)
+        _, std_out = model.predict(np.array([[30.0]]), return_std=True)
+        assert std_out[0] > std_in[0]
+
+    def test_log_marginal_likelihood_improves_with_optimization(self, smooth_data):
+        X, y = smooth_data
+        fixed = GaussianProcessRegression(
+            optimize_hyperparameters=False, length_scale=0.01, random_state=0
+        ).fit(X, y)
+        tuned = GaussianProcessRegression(random_state=0).fit(X, y)
+        assert tuned.log_marginal_likelihood_ >= fixed.log_marginal_likelihood_
+
+    def test_subsamples_large_training_sets(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = X[:, 0] + rng.normal(scale=0.1, size=300)
+        model = GaussianProcessRegression(max_training_points=50, random_state=0).fit(X, y)
+        assert model.X_train_.shape[0] == 50
+
+    def test_predict_one(self, smooth_data):
+        X, y = smooth_data
+        model = GaussianProcessRegression(random_state=0).fit(X, y)
+        mean, std = model.predict_one(X[0])
+        assert isinstance(mean, float) and std > 0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegression().predict(np.zeros((1, 2)))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegression().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_mismatched_shapes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GaussianProcessRegression().fit(rng.normal(size=(5, 2)), rng.normal(size=3))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegression(noise_variance=0.0)

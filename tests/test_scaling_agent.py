@@ -1,0 +1,101 @@
+"""Tests for repro.scaling.agent."""
+
+import pytest
+
+from repro.scaling.agent import AgentState, ScalingAgent
+
+
+def _training_agent():
+    agent = ScalingAgent(gpu_id=0, job_id="job-a")
+    agent.load_job(0.0, local_batch=64, learning_rate=0.1, peer_gpus=[0])
+    agent.start_training(1.0)
+    return agent
+
+
+class TestLifecycle:
+    def test_load_and_train(self):
+        agent = _training_agent()
+        assert agent.is_training
+        assert agent.local_batch == 64
+
+    def test_full_scaling_sequence(self):
+        """The pause → resize → reconnect → broadcast → resume path of Fig. 11."""
+        agent = _training_agent()
+        agent.pause(2.0)
+        agent.resize(2.1, new_local_batch=128, new_learning_rate=0.2)
+        agent.reconnect(2.2, [0, 1])
+        agent.broadcast_parameters(2.3)
+        agent.resume(2.4)
+        assert agent.is_training
+        assert agent.local_batch == 128
+        assert agent.peer_gpus == (0, 1)
+        states = agent.state_sequence()
+        assert states == [
+            AgentState.IDLE,
+            AgentState.LOADING,
+            AgentState.TRAINING,
+            AgentState.PAUSED,
+            AgentState.RESIZING,
+            AgentState.RECONNECTING,
+            AgentState.BROADCASTING,
+            AgentState.TRAINING,
+        ]
+
+    def test_scaling_without_new_workers_skips_broadcast(self):
+        agent = _training_agent()
+        agent.pause(2.0)
+        agent.resize(2.1, 32, 0.05)
+        agent.reconnect(2.2, [0])
+        agent.resume(2.3)
+        assert agent.is_training
+
+    def test_training_never_stopped_during_scaling(self):
+        agent = _training_agent()
+        agent.pause(2.0)
+        agent.resize(2.1, 128, 0.2)
+        agent.reconnect(2.2, [0, 1])
+        agent.resume(2.3)
+        assert not agent.training_was_stopped_during_scaling()
+
+    def test_stop(self):
+        agent = _training_agent()
+        agent.stop(5.0)
+        assert agent.is_stopped
+        assert agent.local_batch == 0
+        # Stopping twice is a no-op.
+        agent.stop(6.0)
+
+
+class TestIllegalTransitions:
+    def test_cannot_train_before_loading(self):
+        agent = ScalingAgent(gpu_id=0, job_id="job-a")
+        with pytest.raises(RuntimeError):
+            agent.start_training(0.0)
+
+    def test_cannot_resize_while_training(self):
+        agent = _training_agent()
+        with pytest.raises(RuntimeError):
+            agent.resize(2.0, 128, 0.2)
+
+    def test_cannot_stop_mid_resize(self):
+        agent = _training_agent()
+        agent.pause(2.0)
+        agent.resize(2.1, 128, 0.2)
+        with pytest.raises(RuntimeError):
+            agent.stop(2.2)
+
+    def test_load_requires_positive_batch(self):
+        agent = ScalingAgent(gpu_id=0, job_id="job-a")
+        with pytest.raises(ValueError):
+            agent.load_job(0.0, 0, 0.1, [0])
+
+    def test_resize_requires_positive_batch(self):
+        agent = _training_agent()
+        agent.pause(1.0)
+        with pytest.raises(ValueError):
+            agent.resize(1.1, 0, 0.1)
+
+    def test_transitions_are_recorded_with_times(self):
+        agent = _training_agent()
+        times = [t.time for t in agent.transitions]
+        assert times == sorted(times)

@@ -1,0 +1,94 @@
+"""Tests for repro.scaling.coordinator (checkpoint-free migration, Fig. 12)."""
+
+import pytest
+
+from repro.jobs.model_zoo import get_model
+from repro.scaling.agent import AgentState, ScalingAgent
+from repro.scaling.coordinator import MigrationCoordinator
+
+
+@pytest.fixture
+def coordinator():
+    return MigrationCoordinator()
+
+
+class TestPlanAddWorkers:
+    def test_plan_structure(self, coordinator):
+        plan = coordinator.plan_add_workers(
+            "job-a", get_model("resnet50"), previous_gpus=[0, 1], new_gpus=[2, 3]
+        )
+        names = [s.name for s in plan.steps]
+        assert names == [
+            "initialize_new_workers",
+            "drain_current_step",
+            "reconnect_topology",
+            "resize_buffers",
+            "broadcast_parameters",
+        ]
+
+    def test_new_worker_init_is_overlapped(self, coordinator):
+        plan = coordinator.plan_add_workers(
+            "job-a", get_model("vgg16"), previous_gpus=[0], new_gpus=[1]
+        )
+        init = plan.steps[0]
+        assert init.overlapped
+        # Training pauses only after the new workers are ready.
+        assert plan.training_paused_at >= init.end - 1e-9
+
+    def test_pause_is_much_shorter_than_makespan(self, coordinator):
+        """The overlap is the point: visible pause << total migration work."""
+        plan = coordinator.plan_add_workers(
+            "job-a", get_model("vgg16"), previous_gpus=[0], new_gpus=[1, 2, 3]
+        )
+        assert plan.total_pause < plan.makespan
+        assert plan.total_pause < 3.0
+
+    def test_step_times_are_contiguous_after_pause(self, coordinator):
+        plan = coordinator.plan_add_workers(
+            "job-a", get_model("resnet50"), previous_gpus=[0], new_gpus=[1]
+        )
+        non_overlapped = [s for s in plan.steps if not s.overlapped]
+        for a, b in zip(non_overlapped, non_overlapped[1:]):
+            assert b.start == pytest.approx(a.end)
+
+    def test_requires_previous_and_new_workers(self, coordinator):
+        model = get_model("resnet50")
+        with pytest.raises(ValueError):
+            coordinator.plan_add_workers("j", model, previous_gpus=[], new_gpus=[1])
+        with pytest.raises(ValueError):
+            coordinator.plan_add_workers("j", model, previous_gpus=[0], new_gpus=[])
+
+    def test_overlapping_worker_sets_rejected(self, coordinator):
+        with pytest.raises(ValueError, match="both previous and new"):
+            coordinator.plan_add_workers("j", get_model("resnet50"), [0, 1], [1, 2])
+
+
+class TestPlanResize:
+    def test_resize_plan_has_no_broadcast(self, coordinator):
+        plan = coordinator.plan_resize("job-a", get_model("resnet50"), gpus=[0, 1])
+        assert "broadcast_parameters" not in [s.name for s in plan.steps]
+        assert plan.total_pause > 0
+
+    def test_resize_requires_workers(self, coordinator):
+        with pytest.raises(ValueError):
+            coordinator.plan_resize("job-a", get_model("resnet50"), gpus=[])
+
+
+class TestExecutePlan:
+    def test_agents_driven_through_protocol(self, coordinator):
+        model = get_model("resnet50")
+        plan = coordinator.plan_add_workers("job-a", model, previous_gpus=[0], new_gpus=[1])
+        agents = {0: ScalingAgent(0, "job-a"), 1: ScalingAgent(1, "job-a")}
+        agents[0].load_job(0.0, 64, 0.1, [0])
+        agents[0].start_training(0.0)
+        coordinator.execute_plan(
+            plan,
+            agents,
+            new_local_batches={0: 64, 1: 64},
+            new_learning_rate=0.2,
+            new_topology=[0, 1],
+        )
+        assert agents[0].is_training and agents[1].is_training
+        assert agents[0].peer_gpus == (0, 1)
+        assert not agents[0].training_was_stopped_during_scaling()
+        assert AgentState.BROADCASTING in agents[0].state_sequence()

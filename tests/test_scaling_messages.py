@@ -1,0 +1,57 @@
+"""Tests for repro.scaling.messages."""
+
+import pytest
+
+from repro.scaling.messages import (
+    MessageType,
+    ScalingMessage,
+    make_progress_report,
+    make_scale_command,
+    make_start_command,
+    make_stop_command,
+)
+
+
+class TestScalingMessage:
+    def test_requires_job_and_endpoints(self):
+        with pytest.raises(ValueError):
+            ScalingMessage(MessageType.PAUSE, "", "scheduler", "manager:0")
+        with pytest.raises(ValueError):
+            ScalingMessage(MessageType.PAUSE, "job-a", "", "manager:0")
+
+    def test_sequence_numbers_increase(self):
+        a = make_stop_command("job-a", 0)
+        b = make_stop_command("job-a", 1)
+        assert b.sequence > a.sequence
+
+
+class TestFactories:
+    def test_start_command(self):
+        msg = make_start_command("job-a", 3, 64, [3, 4], 0.1)
+        assert msg.msg_type is MessageType.START_JOB
+        assert msg.receiver == "manager:3"
+        assert msg.payload["local_batch"] == 64
+        assert msg.payload["peer_gpus"] == (3, 4)
+
+    def test_start_command_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            make_start_command("job-a", 0, 0, [0], 0.1)
+
+    def test_scale_command_allows_zero_batch_for_removal(self):
+        msg = make_scale_command("job-a", 2, 0, [0, 1], 0.1)
+        assert msg.payload["local_batch"] == 0
+
+    def test_scale_command_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_scale_command("job-a", 2, -1, [0], 0.1)
+
+    def test_stop_command(self):
+        msg = make_stop_command("job-b", 7)
+        assert msg.msg_type is MessageType.STOP_JOB
+        assert msg.receiver == "manager:7"
+
+    def test_progress_report_direction(self):
+        msg = make_progress_report("job-a", 1, 1000, 0.5, 0.8, 3)
+        assert msg.sender == "manager:1"
+        assert msg.receiver == "scheduler"
+        assert msg.payload["epoch"] == 3

@@ -1,0 +1,78 @@
+"""Tests for repro.scaling.overhead (the Fig. 16 overhead model)."""
+
+import pytest
+
+from repro.jobs.model_zoo import MODEL_ZOO, get_model
+from repro.scaling.overhead import OverheadModel, ReconfigurationKind
+
+FIG16_MODELS = ("alexnet", "resnet18", "resnet50", "vgg16", "googlenet", "inceptionv3", "lstm")
+
+
+@pytest.fixture
+def overheads():
+    return OverheadModel()
+
+
+class TestElasticOverhead:
+    def test_elastic_is_order_of_a_second(self, overheads):
+        for name in FIG16_MODELS:
+            value = overheads.elastic_overhead(get_model(name))
+            assert 0.05 < value < 3.0, name
+
+    def test_breakdown_sums_to_total(self, overheads):
+        breakdown = overheads.elastic_breakdown(get_model("resnet50"))
+        assert breakdown.total == pytest.approx(overheads.elastic_overhead(get_model("resnet50")))
+
+    def test_no_broadcast_without_new_workers(self, overheads):
+        model = get_model("vgg16")
+        with_new = overheads.elastic_breakdown(model, workers_added=True)
+        without = overheads.elastic_breakdown(model, workers_added=False)
+        assert with_new.parameter_broadcast > 0
+        assert without.parameter_broadcast == 0
+
+    def test_invalid_workers(self, overheads):
+        with pytest.raises(ValueError):
+            overheads.elastic_overhead(get_model("resnet50"), num_workers=0)
+
+
+class TestCheckpointOverhead:
+    def test_checkpoint_is_tens_of_seconds(self, overheads):
+        for name in FIG16_MODELS:
+            value = overheads.checkpoint_overhead(get_model(name))
+            assert 5.0 < value < 60.0, name
+
+    def test_checkpoint_dwarfs_elastic_for_every_model(self, overheads):
+        """The headline of Fig. 16: checkpointing costs an order of magnitude more."""
+        for name in FIG16_MODELS:
+            model = get_model(name)
+            assert overheads.checkpoint_overhead(model) > 5.0 * overheads.elastic_overhead(model), name
+
+    def test_bigger_models_checkpoint_slower(self, overheads):
+        assert overheads.checkpoint_overhead(get_model("vgg16")) > overheads.checkpoint_overhead(
+            get_model("resnet18")
+        )
+
+    def test_sequence_models_pay_data_preparation(self, overheads):
+        """The LSTM bar of Fig. 16 is tall despite the model being tiny."""
+        lstm = overheads.checkpoint_breakdown(get_model("lstm"))
+        resnet = overheads.checkpoint_breakdown(get_model("resnet18"))
+        assert lstm.data_preparation > resnet.data_preparation
+
+
+class TestGenericEntryPoint:
+    def test_dispatch_by_kind(self, overheads):
+        model = get_model("resnet50")
+        elastic = overheads.reconfiguration_overhead(model, ReconfigurationKind.ELASTIC)
+        checkpoint = overheads.reconfiguration_overhead(model, ReconfigurationKind.CHECKPOINT)
+        assert elastic == pytest.approx(overheads.elastic_overhead(model))
+        assert checkpoint == pytest.approx(overheads.checkpoint_overhead(model))
+
+    def test_comparison_table_covers_all_models(self, overheads):
+        table = overheads.comparison_table({name: get_model(name) for name in FIG16_MODELS})
+        assert set(table) == set(FIG16_MODELS)
+        for row in table.values():
+            assert row["checkpoint"] > row["elastic"]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            OverheadModel(storage_bandwidth=0.0)

@@ -1,0 +1,94 @@
+"""Tests for repro.scaling.worker_manager."""
+
+import pytest
+
+from repro.scaling.messages import make_scale_command, make_start_command, make_stop_command
+from repro.scaling.worker_manager import WorkerManager, WorkerManagerPool
+
+
+def _busy_manager(gpu_id=0, job_id="job-a"):
+    manager = WorkerManager(gpu_id=gpu_id)
+    manager.handle(make_start_command(job_id, gpu_id, 64, [gpu_id], 0.1), now=0.0)
+    return manager
+
+
+class TestWorkerManager:
+    def test_start_job(self):
+        manager = _busy_manager()
+        assert manager.is_busy
+        assert manager.current_job == "job-a"
+        assert manager.agent.is_training
+
+    def test_wrong_receiver_rejected(self):
+        manager = WorkerManager(gpu_id=1)
+        msg = make_start_command("job-a", 0, 64, [0], 0.1)
+        with pytest.raises(ValueError, match="delivered to"):
+            manager.handle(msg, now=0.0)
+
+    def test_double_start_rejected(self):
+        manager = _busy_manager()
+        with pytest.raises(RuntimeError, match="already runs"):
+            manager.handle(make_start_command("job-b", 0, 64, [0], 0.1), now=1.0)
+
+    def test_scale_changes_configuration(self):
+        manager = _busy_manager()
+        manager.handle(make_scale_command("job-a", 0, 128, [0, 1], 0.2), now=2.0)
+        assert manager.agent.local_batch == 128
+        assert manager.agent.peer_gpus == (0, 1)
+        assert manager.agent.is_training
+
+    def test_scale_with_zero_batch_removes_worker(self):
+        manager = _busy_manager()
+        manager.handle(make_scale_command("job-a", 0, 0, [1], 0.2), now=2.0)
+        assert not manager.is_busy
+
+    def test_scale_wrong_job_rejected(self):
+        manager = _busy_manager()
+        with pytest.raises(RuntimeError, match="got scale for"):
+            manager.handle(make_scale_command("job-b", 0, 128, [0], 0.2), now=2.0)
+
+    def test_scale_idle_gpu_rejected(self):
+        manager = WorkerManager(gpu_id=0)
+        with pytest.raises(RuntimeError, match="no active worker"):
+            manager.handle(make_scale_command("job-a", 0, 128, [0], 0.2), now=2.0)
+
+    def test_stop(self):
+        manager = _busy_manager()
+        manager.handle(make_stop_command("job-a", 0), now=3.0)
+        assert not manager.is_busy
+
+    def test_stop_idle_is_noop(self):
+        manager = WorkerManager(gpu_id=0)
+        manager.handle(make_stop_command("job-a", 0), now=3.0)
+        assert not manager.is_busy
+
+    def test_progress_report(self):
+        manager = _busy_manager()
+        msg = manager.report_progress(5.0, samples_processed=1000, loss=0.5, accuracy=0.8, epoch=2)
+        assert msg.job_id == "job-a"
+        assert manager.outbox[-1] is msg
+
+    def test_progress_report_requires_worker(self):
+        manager = WorkerManager(gpu_id=0)
+        with pytest.raises(RuntimeError):
+            manager.report_progress(1.0, 0, 0, 0, 1)
+
+
+class TestWorkerManagerPool:
+    def test_pool_layout(self):
+        pool = WorkerManagerPool(4)
+        assert len(pool) == 4
+        assert pool.idle_gpus() == [0, 1, 2, 3]
+
+    def test_jobs_running(self):
+        pool = WorkerManagerPool(4)
+        pool[0].handle(make_start_command("job-a", 0, 64, [0, 1], 0.1), now=0.0)
+        pool[1].handle(make_start_command("job-a", 1, 64, [0, 1], 0.1), now=0.0)
+        pool[3].handle(make_start_command("job-b", 3, 32, [3], 0.1), now=0.0)
+        assert pool.jobs_running() == {"job-a": [0, 1], "job-b": [3]}
+        assert pool.busy_gpus() == [0, 1, 3]
+        assert pool.idle_gpus() == [2]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WorkerManagerPool(0)

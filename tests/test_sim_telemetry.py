@@ -1,0 +1,90 @@
+"""Tests for repro.sim.telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fifo import FIFOScheduler
+from repro.cluster.topology import make_longhorn_cluster
+from repro.sim.simulator import ClusterSimulator
+from repro.sim.telemetry import (
+    ascii_utilization_sparkline,
+    batch_size_timeline,
+    busy_gpu_timeline,
+    gpu_count_timeline,
+    job_gantt,
+    summarize_run,
+    utilization_timeline,
+)
+
+
+@pytest.fixture(scope="module")
+def fifo_result():
+    trace_module = pytest.importorskip("repro.workload.trace")
+    trace = trace_module.TraceGenerator(
+        trace_module.TraceConfig(num_jobs=5, arrival_rate=1.0 / 10.0, convergence_patience=3),
+        seed=3,
+    ).generate()
+    return ClusterSimulator(make_longhorn_cluster(8), FIFOScheduler(), trace).run()
+
+
+class TestGantt:
+    def test_segments_cover_every_completed_job(self, fifo_result):
+        segments = job_gantt(fifo_result.jobs)
+        assert {s.job_id for s in segments} == set(fifo_result.completed)
+        for segment in segments:
+            assert segment.duration >= 0
+            assert segment.num_gpus >= 1
+
+    def test_segments_sorted_by_start(self, fifo_result):
+        segments = job_gantt(fifo_result.jobs)
+        starts = [s.start for s in segments]
+        assert starts == sorted(starts)
+
+    def test_gantt_durations_match_execution_times(self, fifo_result):
+        segments = job_gantt(fifo_result.jobs)
+        for job_id, metrics in fifo_result.completed.items():
+            total = sum(s.duration for s in segments if s.job_id == job_id)
+            assert total == pytest.approx(metrics["execution_time"], rel=1e-6)
+
+
+class TestTimelines:
+    def test_busy_gpus_bounded_by_cluster(self, fifo_result):
+        _, busy = busy_gpu_timeline(fifo_result, num_points=100)
+        assert busy.max() <= fifo_result.num_gpus
+        assert busy.min() >= 0
+
+    def test_utilization_in_unit_interval(self, fifo_result):
+        _, util = utilization_timeline(fifo_result, num_points=100)
+        assert np.all(util >= 0)
+        assert np.all(util <= 1.0 + 1e-9)
+
+    def test_batch_size_timeline(self, fifo_result):
+        job = next(iter(fifo_result.jobs.values()))
+        times, batches = batch_size_timeline(job)
+        assert len(times) == len(batches)
+        assert np.all(batches >= 1)
+
+    def test_gpu_count_timeline(self, fifo_result):
+        job = next(iter(fifo_result.jobs.values()))
+        times, counts = gpu_count_timeline(job)
+        assert len(times) == len(counts)
+        assert counts.max() >= 1
+
+
+class TestSummary:
+    def test_summarize_run_fields(self, fifo_result):
+        telemetry = summarize_run(fifo_result)
+        data = telemetry.as_dict()
+        assert data["scheduler"] == "FIFO"
+        assert 0 < data["mean_utilization"] <= 1.0
+        assert data["peak_utilization"] >= data["mean_utilization"]
+        assert data["mean_gpus_per_job"] >= 1.0
+        assert data["mean_peak_batch_ratio"] >= 1.0
+
+    def test_sparkline_has_requested_width(self, fifo_result):
+        line = ascii_utilization_sparkline(fifo_result, width=40)
+        assert len(line) == 40
+
+    def test_invalid_sparkline_width(self, fifo_result):
+        with pytest.raises(ValueError):
+            ascii_utilization_sparkline(fifo_result, width=0)

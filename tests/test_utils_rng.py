@@ -1,0 +1,71 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, as_generator, spawn_generator
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=5)
+        b = as_generator(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerator:
+    def test_same_name_same_stream(self):
+        a = spawn_generator(5, "trace").integers(0, 10**6, size=4)
+        b = spawn_generator(5, "trace").integers(0, 10**6, size=4)
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        a = spawn_generator(5, "trace").integers(0, 10**6, size=8)
+        b = spawn_generator(5, "evolution").integers(0, 10**6, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = spawn_generator(5, "trace").integers(0, 10**6, size=8)
+        b = spawn_generator(6, "trace").integers(0, 10**6, size=8)
+        assert not np.array_equal(a, b)
+
+
+class TestRngFactory:
+    def test_get_is_cached(self):
+        factory = RngFactory(9)
+        assert factory.get("x") is factory.get("x")
+
+    def test_reproducible_across_factories(self):
+        a = RngFactory(11).get("stream").integers(0, 10**6, size=6)
+        b = RngFactory(11).get("stream").integers(0, 10**6, size=6)
+        assert np.array_equal(a, b)
+
+    def test_fresh_resets_stream(self):
+        factory = RngFactory(3)
+        first = factory.get("s").integers(0, 10**6, size=3)
+        fresh = factory.fresh("s").integers(0, 10**6, size=3)
+        assert np.array_equal(first, fresh)
+
+    def test_child_factory_differs_from_parent(self):
+        parent = RngFactory(3)
+        child = parent.child("worker")
+        assert parent.seed != child.seed
+        a = parent.get("s").integers(0, 10**6, size=4)
+        b = child.get("s").integers(0, 10**6, size=4)
+        assert not np.array_equal(a, b)
+
+    def test_none_seed_generates_entropy(self):
+        factory = RngFactory(None)
+        assert isinstance(factory.seed, int)

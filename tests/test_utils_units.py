@@ -1,0 +1,73 @@
+"""Tests for repro.utils.units."""
+
+import pytest
+
+from repro.utils.units import (
+    GB,
+    HOUR,
+    KB,
+    MB,
+    MINUTE,
+    format_bytes,
+    format_duration,
+    format_rate,
+)
+
+
+class TestConstants:
+    def test_byte_multiples(self):
+        assert KB == 1e3
+        assert MB == 1e6
+        assert GB == 1e9
+
+    def test_time_multiples(self):
+        assert MINUTE == 60.0
+        assert HOUR == 3600.0
+
+
+class TestFormatBytes:
+    def test_small(self):
+        assert format_bytes(512) == "512.00 B"
+
+    def test_kib(self):
+        assert "KiB" in format_bytes(2048)
+
+    def test_gib(self):
+        assert "GiB" in format_bytes(3 * 1024**3)
+
+    def test_huge_uses_tib(self):
+        assert "TiB" in format_bytes(5 * 1024**4)
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(5e-6).endswith("us")
+
+    def test_milliseconds(self):
+        assert format_duration(0.25).endswith("ms")
+
+    def test_seconds(self):
+        assert format_duration(12.5) == "12.50s"
+
+    def test_minutes(self):
+        assert format_duration(125) == "2m05.0s"
+
+    def test_hours(self):
+        assert format_duration(3 * 3600 + 90) == "3h01.5m"
+
+    def test_negative(self):
+        assert format_duration(-12.5).startswith("-")
+
+
+class TestFormatRate:
+    def test_plain(self):
+        assert format_rate(12.3) == "12.30 samples/s"
+
+    def test_kilo(self):
+        assert "k" in format_rate(12_300)
+
+    def test_mega(self):
+        assert "M" in format_rate(12_300_000)
+
+    def test_giga(self):
+        assert "G" in format_rate(2.5e9)

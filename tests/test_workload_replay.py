@@ -1,0 +1,61 @@
+"""Tests for repro.workload.replay."""
+
+import json
+
+import pytest
+
+from repro.workload.replay import (
+    jobspec_from_dict,
+    jobspec_to_dict,
+    load_trace,
+    save_trace,
+    trace_statistics,
+)
+from repro.workload.trace import TraceConfig, TraceGenerator
+
+
+@pytest.fixture
+def trace():
+    return TraceGenerator(TraceConfig(num_jobs=8), seed=13).generate()
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_fields(self, trace):
+        for spec in trace:
+            clone = jobspec_from_dict(jobspec_to_dict(spec))
+            assert clone.job_id == spec.job_id
+            assert clone.dataset_size == spec.dataset_size
+            assert clone.base_batch == spec.base_batch
+            assert clone.arrival_time == spec.arrival_time
+            assert clone.model.name == spec.model.name
+            assert clone.convergence == spec.convergence
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "trace.json")
+        loaded = load_trace(path)
+        assert [j.job_id for j in loaded] == [j.job_id for j in trace]
+
+    def test_serialised_file_is_json(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert isinstance(payload, list)
+        assert len(payload) == len(trace)
+
+    def test_load_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a trace"}))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestStatistics:
+    def test_statistics_fields(self, trace):
+        stats = trace_statistics(trace)
+        assert stats["num_jobs"] == len(trace)
+        assert stats["mean_requested_gpus"] >= 1
+        assert stats["mean_interarrival"] >= 0
+        assert any(key.startswith("count_") for key in stats)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            trace_statistics([])

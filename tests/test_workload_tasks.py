@@ -1,0 +1,90 @@
+"""Tests for repro.workload.tasks (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.tasks import (
+    TaskFamily,
+    build_workload_catalog,
+    catalog_summary,
+    make_job_spec,
+)
+
+
+class TestCatalog:
+    def test_exactly_fifty_workloads(self):
+        """Table 2: 4×6 + 3×5 + 4 + 1 + 6 = 50 workloads."""
+        assert len(build_workload_catalog()) == 50
+
+    def test_summary_counts(self):
+        summary = catalog_summary()
+        assert summary["cv/imagenet"] == 24
+        assert summary["cv/cifar10"] == 15
+        assert summary["nlp/cola"] == 4
+        assert summary["nlp/mrpc"] == 1
+        assert summary["nlp/sst2"] == 6
+        assert summary["total"] == 50
+
+    def test_imagenet_sizes_and_classes(self):
+        imagenet = [t for t in build_workload_catalog() if t.dataset == "imagenet"]
+        sizes = sorted({t.dataset_size for t in imagenet})
+        assert sizes == [10_000, 12_000, 14_000, 16_000, 18_000, 20_000]
+        classes = sorted({t.num_classes for t in imagenet})
+        assert classes == [10, 12, 14, 16, 18, 20]
+
+    def test_cifar_sizes(self):
+        cifar = [t for t in build_workload_catalog() if t.dataset == "cifar10"]
+        assert sorted({t.dataset_size for t in cifar}) == [20_000, 25_000, 30_000, 35_000, 40_000]
+        assert {t.num_classes for t in cifar} == {10}
+
+    def test_nlp_uses_bert(self):
+        nlp = [t for t in build_workload_catalog() if t.family is TaskFamily.NLP]
+        assert {t.model_name for t in nlp} == {"bert"}
+        assert {t.num_classes for t in nlp} == {2}
+
+    def test_unique_names(self):
+        names = [t.name for t in build_workload_catalog()]
+        assert len(names) == len(set(names))
+
+    def test_templates_build_models_and_profiles(self):
+        for template in build_workload_catalog():
+            model = template.model()
+            profile = template.convergence_profile()
+            assert model.flops_per_sample > 0
+            assert profile.target_accuracy < profile.max_accuracy
+
+
+class TestMakeJobSpec:
+    def test_basic_instantiation(self):
+        template = build_workload_catalog()[0]
+        spec = make_job_spec(template, "job-1", arrival_time=12.0, requested_gpus=2)
+        assert spec.job_id == "job-1"
+        assert spec.arrival_time == 12.0
+        assert spec.requested_gpus == 2
+        assert spec.base_batch <= spec.dataset_size
+
+    def test_batch_scales_with_requested_gpus(self):
+        template = next(t for t in build_workload_catalog() if t.dataset == "cifar10")
+        one = make_job_spec(template, "a", requested_gpus=1)
+        four = make_job_spec(template, "b", requested_gpus=4)
+        assert four.base_batch == 4 * one.base_batch
+
+    def test_jitter_changes_convergence(self):
+        template = build_workload_catalog()[0]
+        rng = np.random.default_rng(0)
+        a = make_job_spec(template, "a", rng=rng)
+        b = make_job_spec(template, "b", rng=rng)
+        assert (
+            a.convergence.base_epochs_to_target != b.convergence.base_epochs_to_target
+        )
+
+    def test_no_jitter_is_deterministic(self):
+        template = build_workload_catalog()[0]
+        a = make_job_spec(template, "a")
+        b = make_job_spec(template, "b")
+        assert a.convergence.base_epochs_to_target == b.convergence.base_epochs_to_target
+
+    def test_invalid_gpus_rejected(self):
+        template = build_workload_catalog()[0]
+        with pytest.raises(ValueError):
+            make_job_spec(template, "a", requested_gpus=0)
