@@ -14,7 +14,9 @@ Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable:
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Sequence, Tuple
@@ -34,15 +36,17 @@ OUTPUT_DIR = Path(__file__).resolve().parent / "results"
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "medium").lower()
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "2021"))
 
-_SCALES = {
+#: All benchmark scales, public so perf benches can sweep every scale in
+#: one run (machine-readable perf records report each of them).
+SCALES = {
     "paper": {"num_gpus": 64, "num_jobs": 50, "capacities": (16, 32, 48, 64)},
     "medium": {"num_gpus": 64, "num_jobs": 50, "capacities": (16, 64)},
     "small": {"num_gpus": 16, "num_jobs": 12, "capacities": (8, 16)},
 }
-if SCALE not in _SCALES:
-    raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {SCALE!r}")
+if SCALE not in SCALES:
+    raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}, got {SCALE!r}")
 
-PARAMS = _SCALES[SCALE]
+PARAMS = SCALES[SCALE]
 
 
 def write_report(name: str, text: str) -> Path:
@@ -52,6 +56,29 @@ def write_report(name: str, text: str) -> Path:
     path.write_text(text + "\n")
     print()
     print(text)
+    return path
+
+
+def write_perf_record(name: str, payload: Dict) -> Path:
+    """Persist a machine-readable perf record as ``BENCH_<name>.json``.
+
+    The payload is wrapped with the seed and platform metadata so the
+    perf trajectory stays comparable across future PRs.
+    """
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    record = {
+        "bench": name,
+        "seed": SEED,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **payload,
+    }
+    text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    path = OUTPUT_DIR / f"BENCH_{name}.json"
+    path.write_text(text)
+    # Mirror at the repo root so the perf trajectory is easy to diff
+    # across PRs without digging into benchmarks/results.
+    (Path(__file__).resolve().parent.parent / f"BENCH_{name}.json").write_text(text)
     return path
 
 

@@ -1,0 +1,145 @@
+"""Scalar vs vectorised population scoring (the ONES hot path).
+
+The SRUF objective (Eq. 8) is evaluated for every candidate of the
+population at every simulator event, so its cost bounds how large a
+population (and how busy a cluster) the scheduler can afford.  This
+bench scores an identical population through
+
+* the scalar reference path (one Python loop per candidate, one
+  throughput lookup per (job, candidate) pair), and
+* the vectorised engine (one ``bincount`` + one ``ThroughputTable``
+  gather for the whole population),
+
+at every benchmark scale, and writes the ops/sec of both paths to
+``BENCH_scoring.json`` so the perf trajectory is machine-readable
+across PRs.  Run with ``PYTHONPATH=src python -m
+benchmarks.bench_perf_scoring`` or through pytest.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict
+
+import numpy as np
+
+from benchmarks._shared import SCALES, SEED, write_perf_record, write_report
+
+from repro.cluster.topology import make_longhorn_cluster
+from repro.core.operators import reorder
+from repro.core.schedule import IDLE, Schedule
+from repro.core.scoring import score_candidates, score_population
+from repro.jobs.throughput import ThroughputModel, ThroughputTable
+
+from tests._core_helpers import make_jobs
+
+#: Fraction of GPUs knocked idle per candidate so the workload includes
+#: idle genes (the engine must handle them, and real populations do).
+IDLE_FRACTION = 0.1
+
+
+def _scoring_workload(num_gpus: int, num_jobs: int, seed: int):
+    """A busy cluster snapshot plus a population of K = num_gpus candidates."""
+    jobs = make_jobs(num_jobs)
+    for i, job in enumerate(jobs.values()):
+        job.start_running(0.0, [i % num_gpus], [64])
+        job.advance(1500 * (i + 1), 10.0)
+    topology = make_longhorn_cluster(num_gpus)
+    model = ThroughputModel(topology)
+    limits = {job_id: job.spec.base_batch * 4 for job_id, job in jobs.items()}
+    roster = tuple(sorted(jobs))
+    rng = np.random.default_rng(seed)
+    candidates = []
+    for _ in range(num_gpus):  # the paper's K = cluster size
+        genome = rng.integers(0, num_jobs, size=num_gpus).astype(np.int64)
+        genome[rng.random(num_gpus) < IDLE_FRACTION] = IDLE
+        candidates.append(reorder(Schedule(roster=roster, genome=genome)))
+    table = ThroughputTable(model, jobs, limits, num_gpus, roster=roster)
+    progress = {
+        job_id: float(rho)
+        for job_id, rho in zip(roster, rng.uniform(0.05, 0.95, size=len(roster)))
+    }
+    return jobs, candidates, table, progress
+
+
+def _candidates_per_sec(fn, num_candidates: int, min_time: float = 0.2) -> float:
+    """Candidates scored per second (repeat until ``min_time`` elapsed)."""
+    fn()  # warm-up: fills the throughput table / caches
+    reps = 0
+    start = perf_counter()
+    elapsed = 0.0
+    while elapsed < min_time:
+        fn()
+        reps += 1
+        elapsed = perf_counter() - start
+    return reps * num_candidates / elapsed
+
+
+def run() -> Dict:
+    """Benchmark every scale and persist the BENCH_scoring.json record."""
+    results: Dict[str, Dict] = {}
+    for scale_name, params in SCALES.items():
+        num_gpus = int(params["num_gpus"])
+        num_jobs = int(params["num_jobs"])
+        jobs, candidates, table, progress = _scoring_workload(
+            num_gpus, num_jobs, SEED
+        )
+        scalar_fn = table.as_throughput_fn()
+
+        build_start = perf_counter()
+        scalar_scores = score_candidates(candidates, jobs, progress, scalar_fn)
+        table_build_seconds = perf_counter() - build_start
+
+        vector_scores = score_population(candidates, jobs, progress, table)
+        if not np.array_equal(scalar_scores, vector_scores):
+            raise AssertionError("scalar and vectorised scores disagree")
+
+        scalar_ops = _candidates_per_sec(
+            lambda: score_candidates(candidates, jobs, progress, scalar_fn),
+            len(candidates),
+        )
+        vector_ops = _candidates_per_sec(
+            lambda: score_population(candidates, jobs, progress, table),
+            len(candidates),
+        )
+        results[scale_name] = {
+            "num_gpus": num_gpus,
+            "num_jobs": num_jobs,
+            "population": len(candidates),
+            "scalar_candidates_per_sec": round(scalar_ops, 1),
+            "vectorized_candidates_per_sec": round(vector_ops, 1),
+            "speedup": round(vector_ops / scalar_ops, 2),
+            "table_entries": table.filled_entries,
+            "table_capacity": table.capacity,
+            "first_scoring_pass_seconds": round(table_build_seconds, 6),
+        }
+
+    lines = ["Population scoring: scalar reference vs vectorised engine", ""]
+    lines.append(
+        f"{'scale':<8} {'GPUs':>5} {'jobs':>5} {'K':>4} "
+        f"{'scalar cand/s':>14} {'vector cand/s':>14} {'speedup':>8}"
+    )
+    for scale_name, row in results.items():
+        lines.append(
+            f"{scale_name:<8} {row['num_gpus']:>5} {row['num_jobs']:>5} "
+            f"{row['population']:>4} {row['scalar_candidates_per_sec']:>14,.0f} "
+            f"{row['vectorized_candidates_per_sec']:>14,.0f} "
+            f"{row['speedup']:>7.1f}x"
+        )
+    write_report("perf_scoring", "\n".join(lines))
+    write_perf_record("scoring", {"scales": results})
+    return results
+
+
+class TestScoringPerf:
+    def test_vectorized_scoring_speedup(self):
+        results = run()
+        # The acceptance target: >= 10x on medium-scale population scoring.
+        assert results["medium"]["speedup"] >= 10.0
+        for row in results.values():
+            assert row["table_entries"] <= row["table_capacity"]
+
+
+if __name__ == "__main__":
+    for name, row in run().items():
+        print(name, row)

@@ -14,8 +14,13 @@
   common scheduler interface.
 """
 
-from repro.core.schedule import Schedule
-from repro.core.scoring import candidate_score, probability_sample, select_top_k
+from repro.core.schedule import Schedule, stack_genomes, unique_schedules
+from repro.core.scoring import (
+    candidate_score,
+    probability_sample,
+    score_population,
+    select_top_k,
+)
 from repro.core.batch_limit import BatchLimitConfig, BatchSizeLimiter
 from repro.core.operators import (
     EvolutionContext,
@@ -30,8 +35,11 @@ from repro.core.ones_scheduler import ONESConfig, ONESScheduler
 
 __all__ = [
     "Schedule",
+    "stack_genomes",
+    "unique_schedules",
     "candidate_score",
     "probability_sample",
+    "score_population",
     "select_top_k",
     "BatchLimitConfig",
     "BatchSizeLimiter",

@@ -25,8 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-import numpy as np
-
 from repro.baselines.base import ClusterState, SchedulerBase, SchedulerCapabilities
 from repro.cluster.allocation import Allocation
 from repro.core.batch_limit import BatchLimitConfig, BatchSizeLimiter
@@ -34,7 +32,12 @@ from repro.core.evolution import EvolutionConfig, EvolutionarySearch
 from repro.core.operators import EvolutionContext
 from repro.core.schedule import Schedule
 from repro.jobs.job import EpochRecord, Job
-from repro.jobs.throughput import split_batch
+from repro.jobs.throughput import (
+    BoundedMemo,
+    ThroughputTable,
+    derive_global_batch,
+    split_batch,
+)
 from repro.prediction.predictor import PredictorConfig, ProgressPredictor
 from repro.scaling.overhead import ReconfigurationKind
 from repro.utils.rng import SeedLike, as_generator
@@ -50,6 +53,9 @@ class ONESConfig:
     #: Allow immediate placement of pending jobs onto idle GPUs between
     #: full schedule updates.
     immediate_fill: bool = True
+    #: Bound on the cross-invocation throughput memo (model evaluations
+    #: keyed by (model, global batch, worker count, crosses servers)).
+    throughput_memo_entries: int = 65536
 
 
 class ONESScheduler(SchedulerBase):
@@ -72,7 +78,8 @@ class ONESScheduler(SchedulerBase):
         self.search = EvolutionarySearch(self.config.evolution, seed=self._rng)
         self._epochs_at_last_update: Dict[str, int] = {}
         self._has_deployed: bool = False
-        self._throughput_cache: Dict[Tuple, float] = {}
+        self._throughput_memo = BoundedMemo(self.config.throughput_memo_entries)
+        self.last_throughput_table: Optional[ThroughputTable] = None
         self.num_full_updates: int = 0
         self.num_incremental_fills: int = 0
 
@@ -104,34 +111,26 @@ class ONESScheduler(SchedulerBase):
             if job.job_id not in self.limiter.limits():
                 self.limiter.on_job_arrival(job)
 
-    def _throughput_fn(self, state: ClusterState):
-        """Candidate-throughput estimator with memoisation.
+    def _throughput_table(self, state: ClusterState, roster: Tuple[str, ...]) -> ThroughputTable:
+        """Per-invocation throughput lookup table ``X_j(c)``.
 
-        The cache key captures everything the analytic model depends on:
-        the model, the worker count, the derived global batch, and how
-        many servers the placement spans.
+        Replaces the previous per-(job, candidate) memoised callback: the
+        table is lazily filled, hard-bounded at
+        ``jobs × (num_gpus + 1) × 2`` entries (two placement-locality
+        planes per count), reused across every candidate and evolution
+        iteration of this invocation, and backed by a bounded
+        cross-invocation memo of raw model evaluations.
         """
-        topology = state.topology
-        model_of = {job_id: job.spec.model for job_id, job in state.jobs.items()}
-
-        def throughput(job: Job, schedule: Schedule) -> float:
-            count = schedule.gpu_count(job.job_id)
-            if count == 0:
-                return 0.0
-            limit = self.limiter.limits().get(job.job_id, job.spec.base_batch)
-            global_batch = schedule.global_batch(job, limit)
-            gpus = schedule.gpus_of(job.job_id)
-            spanned = topology.nodes_spanned(gpus)
-            key = (model_of[job.job_id].name, count, global_batch, spanned)
-            cached = self._throughput_cache.get(key)
-            if cached is not None:
-                return cached
-            local = split_batch(global_batch, count)
-            value = state.throughput_model.throughput(job.spec.model, local, gpus)
-            self._throughput_cache[key] = value
-            return value
-
-        return throughput
+        table = ThroughputTable(
+            state.throughput_model,
+            state.active_jobs(),
+            self.limiter.limits(),
+            state.topology.num_gpus,
+            roster=roster,
+            memo=self._throughput_memo,
+        )
+        self.last_throughput_table = table
+        return table
 
     def _build_context(self, state: ClusterState) -> EvolutionContext:
         self._ensure_limits(state)
@@ -153,12 +152,13 @@ class ONESScheduler(SchedulerBase):
             roster=roster,
             limits=self.limiter.limits(),
             distributions=distributions,
-            throughput_fn=self._throughput_fn(state),
+            throughput_fn=None,
             remaining_workload=remaining,
             executed_time=executed,
             num_gpus=state.topology.num_gpus,
             never_started=never_started,
             rng=self._rng,
+            throughput_table=self._throughput_table(state, roster),
         )
 
     # ------------------------------------------------------------------ deployment policy
@@ -256,9 +256,8 @@ class ONESScheduler(SchedulerBase):
                 continue
             gpus = free[:take]
             free = free[take:]
-            limit = ctx.limit(job.job_id)
-            global_batch = max(
-                take, min(take * job.spec.max_local_batch, limit, job.dataset_size)
+            global_batch = derive_global_batch(
+                take, job.spec.max_local_batch, ctx.limit(job.job_id), job.dataset_size
             )
             for gpu, batch in zip(gpus, split_batch(global_batch, take)):
                 mapping[gpu] = (job.job_id, max(1, batch))
@@ -281,4 +280,5 @@ class ONESScheduler(SchedulerBase):
             "full_updates": self.num_full_updates,
             "incremental_fills": self.num_incremental_fills,
             "tracked_limits": len(self.limiter.limits()),
+            "throughput_memo_entries": len(self._throughput_memo),
         }

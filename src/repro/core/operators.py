@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.schedule import IDLE, Schedule
 from repro.core.scoring import ThroughputFn
 from repro.jobs.job import Job
+from repro.jobs.throughput import ThroughputTable
 from repro.prediction.beta import BetaDistribution
 from repro.utils.rng import SeedLike, as_generator
 
@@ -50,6 +51,8 @@ class EvolutionContext:
         Predictive progress distributions per job.
     throughput_fn:
         Estimator ``(job, schedule) -> samples/s`` for a candidate config.
+        May be ``None`` when ``throughput_table`` is given, in which case
+        the table's adapter is used.
     remaining_workload:
         Expected remaining samples ``Y_j`` per job (predictor mean).
     executed_time:
@@ -62,21 +65,32 @@ class EvolutionContext:
         refresh operation must serve first).
     rng:
         Random generator driving all stochastic choices.
+    throughput_table:
+        Optional per-invocation :class:`~repro.jobs.throughput.ThroughputTable`;
+        when present, selection scores the whole population through the
+        vectorised engine instead of per-candidate callbacks.
     """
 
     jobs: Dict[str, Job]
     roster: Tuple[str, ...]
     limits: Dict[str, int]
     distributions: Dict[str, BetaDistribution]
-    throughput_fn: ThroughputFn
+    throughput_fn: Optional[ThroughputFn]
     remaining_workload: Dict[str, float]
     executed_time: Dict[str, float]
     num_gpus: int
     never_started: Set[str] = field(default_factory=set)
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    throughput_table: Optional[ThroughputTable] = None
 
     def __post_init__(self) -> None:
         self.rng = as_generator(self.rng)
+        if self.throughput_fn is None:
+            if self.throughput_table is None:
+                raise ValueError(
+                    "EvolutionContext needs a throughput_fn or a throughput_table"
+                )
+            self.throughput_fn = self.throughput_table.as_throughput_fn()
         missing = [j for j in self.roster if j not in self.jobs]
         if missing:
             raise ValueError(f"roster references unknown jobs: {missing}")
@@ -115,17 +129,39 @@ class EvolutionContext:
             out[job_id] = dist.mean if dist is not None else 0.5
         return out
 
-    def marginal_utilization(self, schedule: Schedule, job_id: str) -> float:
-        """The job's term of Eq. 8 under ``schedule`` with mean progress."""
-        job = self.jobs[job_id]
-        count = schedule.gpu_count(job_id)
+    def _utilization_term(self, job_id: str, count: int, throughput: float) -> float:
+        """The single definition of a job's Eq. 8 term at mean progress."""
         if count == 0:
             return 0.0
-        throughput = self.throughput_fn(job, schedule)
         if throughput <= 0:
             return float("inf")
-        remaining = self.remaining_workload.get(job_id, float(job.dataset_size))
+        remaining = self.remaining_workload.get(
+            job_id, float(self.jobs[job_id].dataset_size)
+        )
         return remaining * count / throughput
+
+    def marginal_utilization(self, schedule: Schedule, job_id: str) -> float:
+        """The job's term of Eq. 8 under ``schedule`` with mean progress."""
+        count = schedule.gpu_count(job_id)
+        throughput = (
+            self.throughput_fn(self.jobs[job_id], schedule) if count else 0.0
+        )
+        return self._utilization_term(job_id, count, throughput)
+
+    def utilization_at(
+        self, job_id: str, count: int, crosses_nodes: Optional[bool] = None
+    ) -> float:
+        """:meth:`marginal_utilization` at a hypothetical GPU count.
+
+        Only available with a throughput table (where throughput depends
+        on the count and placement locality alone); lets the fill
+        operator evaluate moves without materialising candidate
+        schedules.
+        """
+        if count <= 0:
+            return 0.0
+        throughput = self.throughput_table.throughput(job_id, count, crosses_nodes)
+        return self._utilization_term(job_id, count, throughput)
 
 
 # --- refresh -------------------------------------------------------------------------------------------
@@ -192,7 +228,15 @@ def fill_idle_gpus(schedule: Schedule, ctx: EvolutionContext) -> Schedule:
     utilisation change of the move under the expected progress (the
     ``Δφ_j·Y_j`` weights of §3.2.2), and applies the best move.  Rounds
     repeat until no GPU is idle or no job can use one.
+
+    With a throughput table the utilisation change of a move depends
+    only on the job's GPU count, so moves are evaluated arithmetically
+    (no candidate schedules are materialised); without one the generic
+    path below builds each prospective schedule for its callback.  Both
+    paths pick the same moves in the same order.
     """
+    if ctx.throughput_table is not None:
+        return _fill_idle_gpus_by_count(schedule, ctx)
     candidate = schedule
     while True:
         idle = candidate.idle_gpus()
@@ -220,6 +264,57 @@ def fill_idle_gpus(schedule: Schedule, ctx: EvolutionContext) -> Schedule:
             return candidate
         moves.sort(key=lambda item: item[0])
         candidate = moves[0][1]
+
+
+def _fill_idle_gpus_by_count(schedule: Schedule, ctx: EvolutionContext) -> Schedule:
+    """Table-backed :func:`fill_idle_gpus`: same moves, no Schedule churn.
+
+    Placement locality is tracked through per-job node sets so every
+    move is priced exactly as the generic path would price the grown
+    schedule (intra- vs cross-node plane of the table).
+    """
+    idle = schedule.idle_gpus()
+    if not idle:
+        return schedule
+    node_of = ctx.throughput_table.node_of
+    genome = np.array(schedule.genome)
+    counts = schedule.gpu_counts()
+    index = {job_id: i for i, job_id in enumerate(ctx.roster)}
+    nodes_of_job: Dict[str, Set[int]] = {job_id: set() for job_id in ctx.roster}
+    for gpu, gene in enumerate(genome):
+        if gene != IDLE:
+            nodes_of_job[ctx.roster[int(gene)]].add(int(node_of[gpu]))
+    changed = False
+    while idle:
+        best: Optional[Tuple[float, str, int, Set[int]]] = None
+        for job_id in ctx.roster:
+            count = counts.get(job_id, 0)
+            desired = ctx.desired_gpus(job_id)
+            if count >= desired and count > 0:
+                continue
+            take = (
+                min(len(idle), desired - count) if count > 0 else min(len(idle), desired)
+            )
+            if take <= 0:
+                continue
+            before_nodes = nodes_of_job[job_id]
+            after_nodes = before_nodes | {int(node_of[g]) for g in idle[:take]}
+            delta = ctx.utilization_at(
+                job_id, count + take, len(after_nodes) > 1
+            ) - ctx.utilization_at(job_id, count, len(before_nodes) > 1)
+            if best is None or delta < best[0]:
+                best = (delta, job_id, take, after_nodes)
+        if best is None:
+            break
+        _, job_id, take, after_nodes = best
+        genome[idle[:take]] = index[job_id]
+        idle = idle[take:]
+        counts[job_id] = counts.get(job_id, 0) + take
+        nodes_of_job[job_id] = after_nodes
+        changed = True
+    if not changed:
+        return schedule
+    return schedule.with_genome(genome)
 
 
 # --- uniform crossover -------------------------------------------------------------------------------------

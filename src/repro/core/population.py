@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.operators import EvolutionContext, fill_idle_gpus, refresh, reorder
-from repro.core.schedule import IDLE, Schedule
+from repro.core.schedule import IDLE, Schedule, stack_genomes, unique_schedules
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
 
@@ -42,10 +42,15 @@ class Population:
 
     def unique(self) -> List[Schedule]:
         """Distinct genomes, preserving first-seen order."""
-        seen: Dict[Tuple[int, ...], Schedule] = {}
-        for member in self.members:
-            seen.setdefault(member.key(), member)
-        return list(seen.values())
+        return unique_schedules(self.members)
+
+    def genome_matrix(self) -> np.ndarray:
+        """The population's genomes stacked into a ``(K, num_gpus)`` matrix.
+
+        This is the array the vectorised scoring engine consumes; it is
+        also handy for bulk population analytics.
+        """
+        return stack_genomes(self.members)
 
     def reindexed(self, roster: Sequence[str]) -> "Population":
         """Re-express every member over a new roster (completed jobs vanish)."""

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.cluster.allocation import Allocation, WorkerAssignment
 from repro.jobs.job import Job
-from repro.jobs.throughput import split_batch
+from repro.jobs.throughput import derive_global_batch, split_batch
 
 #: Genome value meaning "this GPU is idle".
 IDLE = -1
@@ -153,11 +153,9 @@ class Schedule:
     def global_batch(self, job: Job, limit: int) -> int:
         """Derived global batch size ``B_j`` for ``job`` under limit ``R_j``."""
         count = self.gpu_count(job.job_id)
-        if count == 0:
-            return 0
-        natural = count * job.spec.max_local_batch
-        batch = min(natural, int(limit), job.dataset_size)
-        return max(batch, count)
+        return derive_global_batch(
+            count, job.spec.max_local_batch, limit, job.dataset_size
+        )
 
     def local_batches(self, job: Job, limit: int) -> List[int]:
         """Even per-GPU split of the derived global batch."""
@@ -211,3 +209,33 @@ class Schedule:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Schedule(jobs={self.gpu_counts()}, idle={len(self.idle_gpus())})"
+
+
+def unique_schedules(candidates: Iterable[Schedule]) -> List[Schedule]:
+    """Distinct genomes, preserving first-seen order.
+
+    The shared de-duplication used both by :class:`~repro.core.population.Population`
+    and by the selection step of Algorithm 1.
+    """
+    seen: Dict[Tuple[int, ...], Schedule] = {}
+    for candidate in candidates:
+        seen.setdefault(candidate.key(), candidate)
+    return list(seen.values())
+
+
+def stack_genomes(candidates: Sequence[Schedule]) -> np.ndarray:
+    """Stack a population's genomes into a ``(K, num_gpus)`` int64 matrix.
+
+    All candidates must share the same roster and cluster size — the
+    invariant the evolutionary search maintains anyway.
+    """
+    if not candidates:
+        raise ValueError("stack_genomes requires at least one candidate")
+    roster = candidates[0].roster
+    num_gpus = candidates[0].num_gpus
+    for candidate in candidates:
+        if candidate.roster != roster:
+            raise ValueError("candidates must share the same roster")
+        if candidate.num_gpus != num_gpus:
+            raise ValueError("candidates must cover the same number of GPUs")
+    return np.stack([candidate.genome for candidate in candidates])

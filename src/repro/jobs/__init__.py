@@ -21,7 +21,13 @@ reports in Figs. 2, 3, 13 and 14:
 """
 
 from repro.jobs.model_zoo import ModelSpec, MODEL_ZOO, get_model
-from repro.jobs.throughput import ThroughputModel, StepTimeBreakdown
+from repro.jobs.throughput import (
+    BoundedMemo,
+    StepTimeBreakdown,
+    ThroughputModel,
+    ThroughputTable,
+    derive_global_batch,
+)
 from repro.jobs.convergence import ConvergenceProfile, LossCurveSimulator
 from repro.jobs.lr_scaling import linear_scaled_lr, warmup_factor
 from repro.jobs.job import Job, JobSpec, JobStatus, EpochRecord, RunInterval
@@ -31,6 +37,9 @@ __all__ = [
     "MODEL_ZOO",
     "get_model",
     "ThroughputModel",
+    "ThroughputTable",
+    "BoundedMemo",
+    "derive_global_batch",
     "StepTimeBreakdown",
     "ConvergenceProfile",
     "LossCurveSimulator",

@@ -23,15 +23,24 @@ batch stays large and throughput keeps improving.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import (
+    Callable,
+    Hashable,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.cluster.devices import GPUSpec
 from repro.cluster.topology import ClusterTopology
 from repro.jobs.model_zoo import ModelSpec
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_positive, check_positive_int
 
 
 @dataclass(frozen=True)
@@ -68,6 +77,11 @@ class ThroughputModel:
             raise ValueError("allreduce_efficiency must be <= 1")
         self._topology = topology
         self._allreduce_efficiency = float(allreduce_efficiency)
+
+    @property
+    def topology(self) -> ClusterTopology:
+        """The cluster this model evaluates placements against."""
+        return self._topology
 
     # -- elementary costs ----------------------------------------------------------
 
@@ -201,3 +215,361 @@ def split_batch(global_batch: int, num_workers: int) -> list[int]:
         raise ValueError(f"global_batch must be >= 0, got {global_batch}")
     base, extra = divmod(int(global_batch), num_workers)
     return [base + (1 if i < extra else 0) for i in range(num_workers)]
+
+
+def derive_global_batch(
+    count: int, max_local_batch: int, limit: int, dataset_size: int
+) -> int:
+    """Derived global batch ``B_j`` of a job holding ``count`` GPUs (Eq. 1–2).
+
+    The job uses the largest batch its limit ``R_j`` (and device memory)
+    allows for the GPUs it holds, never less than one sample per worker.
+    This is the single definition shared by :class:`~repro.core.schedule.Schedule`
+    and :class:`ThroughputTable`.
+    """
+    if count <= 0:
+        return 0
+    natural = count * int(max_local_batch)
+    batch = min(natural, int(limit), int(dataset_size))
+    return max(batch, count)
+
+
+class BoundedMemo(MutableMapping):
+    """A small LRU-evicting mapping used to bound throughput memoisation.
+
+    The ONES scheduler previously memoised candidate throughputs in a
+    plain dict that grew for the lifetime of a simulation; this mapping
+    keeps the most recently used ``max_entries`` only.
+    """
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        check_positive_int(max_entries, "max_entries")
+        self.max_entries = int(max_entries)
+        self._data: "OrderedDict[Hashable, float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        # Membership tests neither count as hits nor refresh recency.
+        return key in self._data
+
+    def __getitem__(self, key: Hashable) -> float:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            raise
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: Hashable, value: float) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+
+    def __delitem__(self, key: Hashable) -> None:
+        del self._data[key]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+
+class ThroughputTable:
+    """Per-invocation lookup table of job throughput by GPU count.
+
+    Scoring (Eq. 8) evaluates the same jobs at the same handful of GPU
+    counts for every candidate of every evolution iteration, so instead
+    of one analytic-model call per (job, candidate) pair the table keeps
+    one row per job with ``X_j(c)`` for ``c = 0..num_gpus``:
+
+    * The global batch at count ``c`` is fully determined by the job's
+      batch-size limit ``R_j`` (see :func:`derive_global_batch`), so a
+      row is valid for the whole scheduler invocation.
+    * On a homogeneous star-interconnect cluster the placement affects
+      throughput only through whether the ring stays inside one server,
+      so each row keeps two planes — intra-node and cross-node — each
+      evaluated at a canonical representative placement.  Entries are
+      therefore exactly the analytic model's value for *any* placement
+      of that (count, locality) class; topologies with non-uniform
+      inter-node links (subclassed :class:`ClusterTopology`) would make
+      this an approximation.
+
+    Entries are filled lazily — only the (job, count, locality) triples
+    scoring actually visits are evaluated — and the table is
+    hard-bounded at ``num_jobs × (num_gpus + 1) × 2`` entries, which is
+    what lets it replace the scheduler's previous unbounded memoisation
+    dict.  An optional shared ``memo`` (see :class:`BoundedMemo`)
+    carries model evaluations across invocations, keyed by
+    ``(model, global batch, count, crosses nodes)``.
+    """
+
+    def __init__(
+        self,
+        model: ThroughputModel,
+        jobs: Mapping[str, "object"],
+        limits: Mapping[str, int],
+        num_gpus: int,
+        roster: Optional[Sequence[str]] = None,
+        memo: Optional[MutableMapping] = None,
+    ) -> None:
+        check_positive_int(num_gpus, "num_gpus")
+        self._model = model
+        self._roster: Tuple[str, ...] = (
+            tuple(roster) if roster is not None else tuple(sorted(jobs))
+        )
+        missing = [job_id for job_id in self._roster if job_id not in jobs]
+        if missing:
+            raise KeyError(f"roster references unknown jobs: {missing}")
+        self._jobs = {job_id: jobs[job_id] for job_id in self._roster}
+        self._limits = {
+            job_id: int(limits.get(job_id, self._jobs[job_id].spec.base_batch))
+            for job_id in self._roster
+        }
+        self._num_gpus = int(num_gpus)
+        self._index = {job_id: i for i, job_id in enumerate(self._roster)}
+        self._memo = memo
+        topology = model.topology
+        self._gpus_per_node = int(topology.gpus_per_node)
+        self._node_of = np.asarray(
+            topology.node_of(np.arange(self._num_gpus)), dtype=np.int64
+        )
+        self._multi_node_cluster = bool(self._node_of.size) and (
+            int(self._node_of[-1]) > 0
+        )
+        # NaN marks a (job, count, locality) triple that has not been
+        # evaluated yet; zero GPUs always means zero throughput.
+        self._table = np.full((len(self._roster), self._num_gpus + 1, 2), np.nan)
+        if self._table.size:
+            self._table[:, 0, :] = 0.0
+        self.model_calls = 0
+
+    @classmethod
+    def from_matrix(
+        cls, roster: Sequence[str], matrix: np.ndarray
+    ) -> "ThroughputTable":
+        """Build a fully-specified table from a raw array — for tests and
+        synthetic what-if studies (no model calls).
+
+        ``matrix`` is ``(num_jobs, num_gpus+1)`` (the same curve for both
+        locality planes) or ``(num_jobs, num_gpus+1, 2)``.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        roster = tuple(roster)
+        if matrix.ndim == 2:
+            matrix = np.repeat(matrix[:, :, None], 2, axis=2)
+        if matrix.ndim != 3 or matrix.shape[0] != len(roster) or matrix.shape[2] != 2:
+            raise ValueError(
+                f"matrix must have shape (num_jobs={len(roster)}, num_gpus+1[, 2]), "
+                f"got {matrix.shape}"
+            )
+        table = cls.__new__(cls)
+        table._model = None
+        table._jobs = {}
+        table._limits = {}
+        table._memo = None
+        table._roster = roster
+        table._index = {job_id: i for i, job_id in enumerate(roster)}
+        table._num_gpus = matrix.shape[1] - 1
+        table._gpus_per_node = max(1, table._num_gpus)
+        table._node_of = np.zeros(table._num_gpus, dtype=np.int64)
+        table._multi_node_cluster = False
+        table._table = matrix.copy()
+        table.model_calls = 0
+        return table
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def roster(self) -> Tuple[str, ...]:
+        """Job ids the table rows correspond to."""
+        return self._roster
+
+    @property
+    def num_gpus(self) -> int:
+        """Cluster size the table covers (columns are counts 0..num_gpus)."""
+        return self._num_gpus
+
+    @property
+    def node_of(self) -> np.ndarray:
+        """Vectorised GPU-id → node-id map of the underlying topology."""
+        return self._node_of
+
+    @property
+    def capacity(self) -> int:
+        """Hard bound on the number of entries the table can ever hold."""
+        return len(self._roster) * (self._num_gpus + 1) * 2
+
+    @property
+    def filled_entries(self) -> int:
+        """Entries evaluated so far (always ``<= capacity``)."""
+        return int(np.count_nonzero(~np.isnan(self._table)))
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _canonical_placement(self, count: int, crosses: bool) -> Sequence[int]:
+        """A representative placement of ``count`` GPUs for a locality class."""
+        if crosses and self._multi_node_cluster and count > 1:
+            if count > self._gpus_per_node:
+                return range(count)  # packed already spans servers
+            # count-1 workers on the first server, one on the second.
+            return list(range(count - 1)) + [self._gpus_per_node]
+        return range(count)
+
+    def _default_crosses(self, count: int) -> bool:
+        """Locality of the canonical *packed* placement of ``count`` GPUs."""
+        return count > self._gpus_per_node
+
+    def _compute(self, job_idx: int, count: int, crosses: bool) -> float:
+        if self._model is None:
+            raise RuntimeError(
+                "this table was built from a raw matrix and cannot evaluate "
+                f"new entries (job {self._roster[job_idx]!r}, count {count})"
+            )
+        job = self._jobs[self._roster[job_idx]]
+        global_batch = derive_global_batch(
+            count, job.spec.max_local_batch, self._limits[self._roster[job_idx]],
+            job.dataset_size,
+        )
+        key = (job.spec.model.name, global_batch, count, bool(crosses))
+        if self._memo is not None:
+            cached = self._memo.get(key)
+            if cached is not None:
+                return float(cached)
+        value = self._model.throughput_even(
+            job.spec.model, global_batch, self._canonical_placement(count, crosses)
+        )
+        self.model_calls += 1
+        if self._memo is not None:
+            self._memo[key] = value
+        return float(value)
+
+    def throughput(
+        self, job_id: str, count: int, crosses_nodes: Optional[bool] = None
+    ) -> float:
+        """``X_j(c)``: throughput of ``job_id`` on ``count`` GPUs.
+
+        ``crosses_nodes`` selects the locality plane; ``None`` assumes
+        the canonical packed placement (crosses servers only when the
+        count exceeds one server).
+        """
+        if count <= 0:
+            return 0.0
+        if count > self._num_gpus:
+            raise ValueError(
+                f"count {count} exceeds cluster size {self._num_gpus}"
+            )
+        if crosses_nodes is None:
+            crosses_nodes = self._default_crosses(count)
+        idx = self._index[job_id]
+        plane = int(bool(crosses_nodes))
+        value = self._table[idx, count, plane]
+        if np.isnan(value):
+            value = self._compute(idx, count, bool(crosses_nodes))
+            self._table[idx, count, plane] = value
+        return float(value)
+
+    def lookup(
+        self, counts: np.ndarray, crosses_nodes: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Vectorised ``X_j(c)`` gather for a population's count matrix.
+
+        ``counts`` has shape ``(K, num_jobs)`` with ``counts[k, j]`` the
+        GPU count candidate ``k`` gives roster job ``j``;
+        ``crosses_nodes`` is an equally-shaped boolean matrix saying
+        whether that placement spans servers (``None`` assumes packed
+        placements).  Missing table entries are filled on demand
+        (distinct triples only) before the gather, so repeated lookups
+        across evolution iterations are pure array indexing.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 2 or counts.shape[1] != len(self._roster):
+            raise ValueError(
+                f"counts must have shape (K, {len(self._roster)}), got {counts.shape}"
+            )
+        if counts.size == 0:
+            return np.zeros(counts.shape, dtype=float)
+        if crosses_nodes is None:
+            planes = (counts > self._gpus_per_node).astype(np.int64)
+        else:
+            planes = np.asarray(crosses_nodes).astype(np.int64)
+            if planes.shape != counts.shape:
+                raise ValueError(
+                    f"crosses_nodes shape {planes.shape} != counts shape {counts.shape}"
+                )
+        job_idx = np.broadcast_to(np.arange(counts.shape[1]), counts.shape)
+        values = self._table[job_idx, counts, planes]
+        nan_mask = np.isnan(values)
+        if nan_mask.any():
+            triples = np.unique(
+                np.stack(
+                    [job_idx[nan_mask], counts[nan_mask], planes[nan_mask]], axis=1
+                ),
+                axis=0,
+            )
+            for j, c, p in triples:
+                self._table[j, c, p] = self._compute(int(j), int(c), bool(p))
+            values = self._table[job_idx, counts, planes]
+        return values
+
+    def row(self, job_id: str) -> np.ndarray:
+        """The packed curve ``X_j(0..num_gpus)`` of one job (fills it)."""
+        return np.array(
+            [0.0]
+            + [
+                self.throughput(job_id, count)
+                for count in range(1, self._num_gpus + 1)
+            ]
+        )
+
+    def matrix(self) -> np.ndarray:
+        """The fully-built ``(num_jobs, num_gpus + 1, 2)`` table."""
+        for idx in range(len(self._roster)):
+            for count in range(1, self._num_gpus + 1):
+                for plane in (0, 1):
+                    if np.isnan(self._table[idx, count, plane]):
+                        self._table[idx, count, plane] = self._compute(
+                            idx, count, bool(plane)
+                        )
+        return self._table.copy()
+
+    # -- placement queries ---------------------------------------------------------
+
+    def crosses_nodes_of(self, gpu_ids: Sequence[int]) -> bool:
+        """Whether a concrete placement spans more than one server."""
+        gpu_ids = np.asarray(list(gpu_ids), dtype=np.int64)
+        if gpu_ids.size <= 1:
+            return False
+        nodes = self._node_of[gpu_ids]
+        return bool((nodes != nodes[0]).any())
+
+    # -- adapters -----------------------------------------------------------------
+
+    def as_throughput_fn(self) -> Callable:
+        """A ``(job, schedule) -> samples/s`` adapter for the scalar path.
+
+        Looks up the plane matching the schedule's actual placement
+        locality.  Jobs outside the table's roster (or with no GPUs)
+        report zero throughput, matching the previous scheduler
+        behaviour.
+        """
+
+        def throughput(job, schedule) -> float:
+            count = schedule.gpu_count(job.job_id)
+            if count == 0 or job.job_id not in self._index:
+                return 0.0
+            crosses = self.crosses_nodes_of(schedule.gpus_of(job.job_id))
+            return self.throughput(job.job_id, count, crosses)
+
+        return throughput

@@ -8,12 +8,16 @@ the shape is flexible, and ``Be(α, β)`` is unimodal when ``α, β > 1``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import stats
 
 from repro.utils.rng import SeedLike, as_generator
+
+#: Clip samples away from exactly 0 and 1 so downstream uses of
+#: ``1/ρ - 1`` (Eq. 7) stay finite.
+SAMPLE_EPS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -94,8 +98,7 @@ class BetaDistribution:
         """
         rng = as_generator(rng)
         draw = rng.beta(self.alpha, self.beta, size=size)
-        eps = 1e-9
-        draw = np.clip(draw, eps, 1.0 - eps)
+        draw = np.clip(draw, SAMPLE_EPS, 1.0 - SAMPLE_EPS)
         if size is None:
             return float(draw)
         return draw
@@ -116,3 +119,29 @@ class BetaDistribution:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BetaDistribution(alpha={self.alpha:.3f}, beta={self.beta:.3f})"
+
+
+#: The uniform ``Be(1, 1)`` prior used for jobs without a fitted
+#: distribution.  Hoisted to module level so hot paths do not allocate a
+#: fresh distribution per unseen job per call.
+UNIFORM_PRIOR = BetaDistribution(1.0, 1.0)
+
+
+def sample_many(
+    distributions: Sequence[BetaDistribution], rng: SeedLike = None
+) -> np.ndarray:
+    """Draw one sample from each distribution with a single RNG call.
+
+    ``rng.beta`` with array parameters consumes the underlying bit
+    stream element by element, so the result is bit-identical to calling
+    :meth:`BetaDistribution.sample` sequentially on the same generator —
+    just without the per-call Python overhead.
+    """
+    rng = as_generator(rng)
+    n = len(distributions)
+    if n == 0:
+        return np.empty(0, dtype=float)
+    alphas = np.fromiter((d.alpha for d in distributions), dtype=float, count=n)
+    betas = np.fromiter((d.beta for d in distributions), dtype=float, count=n)
+    draws = rng.beta(alphas, betas)
+    return np.clip(draws, SAMPLE_EPS, 1.0 - SAMPLE_EPS)

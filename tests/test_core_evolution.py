@@ -11,7 +11,10 @@ from tests._core_helpers import make_context, make_jobs
 class TestEvolutionConfig:
     def test_defaults_resolve(self):
         config = EvolutionConfig()
-        assert config.resolved_population_size(64) == 32
+        # The paper's K = cluster size up to the 64-GPU Longhorn scale;
+        # beyond that the default stays bounded by the operator cost.
+        assert config.resolved_population_size(64) == 64
+        assert config.resolved_population_size(128) == 64
         assert config.resolved_population_size(8) == 8
         assert config.resolved_crossover_pairs(16) == 8
 

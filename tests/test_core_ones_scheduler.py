@@ -126,3 +126,34 @@ class TestEndToEnd:
         ClusterSimulator(topology, scheduler, tiny_trace).run()
         assert scheduler.predictor.history.completed_jobs == len(tiny_trace)
         assert scheduler.predictor.is_fitted
+
+
+class TestThroughputMemoisation:
+    """The per-invocation table and cross-invocation memo stay bounded."""
+
+    def test_memo_bounded_after_full_simulation(self, tiny_trace):
+        topology = make_longhorn_cluster(8)
+        scheduler = ONESScheduler(
+            ONESConfig(evolution=EvolutionConfig(population_size=4)), seed=1
+        )
+        ClusterSimulator(topology, scheduler, tiny_trace).run()
+        assert len(scheduler._throughput_memo) <= scheduler.config.throughput_memo_entries
+        table = scheduler.last_throughput_table
+        assert table is not None
+        assert table.filled_entries <= table.capacity
+        state = scheduler.describe_state()
+        assert state["throughput_memo_entries"] == len(scheduler._throughput_memo)
+
+    def test_tiny_memo_bound_is_respected(self, tiny_trace):
+        scheduler = ONESScheduler(
+            ONESConfig(
+                evolution=EvolutionConfig(population_size=4),
+                throughput_memo_entries=16,
+            ),
+            seed=1,
+        )
+        result = ClusterSimulator(
+            make_longhorn_cluster(8), scheduler, tiny_trace
+        ).run()
+        assert not result.incomplete  # a tiny memo degrades speed, not behaviour
+        assert len(scheduler._throughput_memo) <= 16

@@ -76,3 +76,25 @@ class TestInitialPopulation:
         ctx = make_context(jobs, num_gpus=4)
         with pytest.raises(ValueError):
             initial_population(ctx, size=0)
+
+
+class TestGenomeMatrix:
+    def test_matches_member_genomes(self):
+        jobs = make_jobs(3)
+        ctx = make_context(jobs, num_gpus=8)
+        pop = initial_population(ctx, size=5, seed=3)
+        matrix = pop.genome_matrix()
+        assert matrix.shape == (5, 8)
+        assert matrix.dtype == np.int64
+        for row, member in zip(matrix, pop):
+            assert np.array_equal(row, member.genome)
+
+    def test_unique_uses_shared_helper(self):
+        from repro.core.schedule import unique_schedules
+
+        jobs = make_jobs(2)
+        ctx = make_context(jobs, num_gpus=4)
+        a = Schedule(roster=ctx.roster, genome=np.array([0, 1, IDLE, IDLE]))
+        b = Schedule(roster=ctx.roster, genome=np.array([0, 1, IDLE, IDLE]))
+        pop = Population([a, b])
+        assert pop.unique() == unique_schedules([a, b]) == [a]

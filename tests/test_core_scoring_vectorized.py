@@ -1,0 +1,209 @@
+"""Parity tests: the vectorised scoring engine vs the scalar reference.
+
+The vectorised engine (``score_population``) must be *bit-compatible*
+with the scalar path (``score_candidates``) on shared progress samples:
+identical scores, identical argmin, identical top-K selection order —
+across randomised rosters, genomes with idle GPUs, zero-progress jobs
+and zero-throughput (infinite-score) candidates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import make_longhorn_cluster
+from repro.core.operators import reorder
+from repro.core.schedule import IDLE, Schedule, stack_genomes
+from repro.core.scoring import (
+    population_gpu_counts,
+    probability_sample,
+    sample_progress,
+    score_candidates,
+    score_population,
+    select_top_k,
+)
+from repro.jobs.throughput import ThroughputModel, ThroughputTable
+from repro.prediction.beta import BetaDistribution
+from tests._core_helpers import make_jobs
+
+
+def _workload(num_gpus, num_jobs, seed, idle_fraction=0.2, fresh_fraction=0.3):
+    """Random jobs (some with zero progress), candidates (some idle GPUs)."""
+    rng = np.random.default_rng(seed)
+    jobs = make_jobs(num_jobs)
+    for i, (job_id, job) in enumerate(jobs.items()):
+        if rng.random() < fresh_fraction:
+            continue  # never started: samples_processed == 0
+        job.start_running(0.0, [i % num_gpus], [64])
+        job.advance(int(rng.integers(500, 5000)), 10.0)
+    topology = make_longhorn_cluster(num_gpus)
+    model = ThroughputModel(topology)
+    limits = {job_id: job.spec.base_batch * 4 for job_id, job in jobs.items()}
+    roster = tuple(sorted(jobs))
+    candidates = []
+    for _ in range(2 * num_gpus):
+        genome = rng.integers(0, num_jobs, size=num_gpus).astype(np.int64)
+        genome[rng.random(num_gpus) < idle_fraction] = IDLE
+        candidates.append(reorder(Schedule(roster=roster, genome=genome)))
+    table = ThroughputTable(model, jobs, limits, num_gpus, roster=roster)
+    progress = {
+        job_id: float(rho)
+        for job_id, rho in zip(roster, rng.uniform(0.01, 0.99, size=len(roster)))
+    }
+    return jobs, candidates, table, progress
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("num_gpus,num_jobs", [(8, 3), (16, 7), (16, 20)])
+def test_scores_bit_identical(num_gpus, num_jobs, seed):
+    jobs, candidates, table, progress = _workload(num_gpus, num_jobs, seed)
+    scalar = score_candidates(candidates, jobs, progress, table.as_throughput_fn())
+    vector = score_population(candidates, jobs, progress, table)
+    assert np.array_equal(scalar, vector)
+    assert int(np.argmin(scalar)) == int(np.argmin(vector))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_top_k_order_identical(seed):
+    jobs, candidates, table, progress = _workload(16, 6, seed)
+    scalar_survivors = select_top_k(
+        candidates, jobs, {}, table.as_throughput_fn(), k=8, rng=seed
+    )
+    vector_survivors = select_top_k(
+        candidates, jobs, {}, None, k=8, rng=seed, table=table
+    )
+    assert [s.key() for s, _ in scalar_survivors] == [
+        s.key() for s, _ in vector_survivors
+    ]
+    assert [score for _, score in scalar_survivors] == [
+        score for _, score in vector_survivors
+    ]
+
+
+def test_probability_sample_identical():
+    jobs, candidates, table, _ = _workload(8, 4, seed=11)
+    distributions = {
+        job_id: BetaDistribution(2.0, 5.0) for job_id in sorted(jobs)
+    }
+    best_scalar, score_scalar = probability_sample(
+        candidates, jobs, distributions, table.as_throughput_fn(), rng=3
+    )
+    best_vector, score_vector = probability_sample(
+        candidates, jobs, distributions, None, rng=3, table=table
+    )
+    assert best_scalar.key() == best_vector.key()
+    assert score_scalar == score_vector
+
+
+def test_zero_throughput_candidates_score_inf():
+    """A placed job with history but zero throughput makes the score inf."""
+    jobs = make_jobs(2)
+    for i, job in enumerate(jobs.values()):
+        job.start_running(0.0, [i], [64])
+        job.advance(1000, 5.0)
+    roster = tuple(sorted(jobs))
+    matrix = np.zeros((2, 5))
+    matrix[0, :] = [0.0, 100.0, 150.0, 180.0, 200.0]  # job-0 is healthy
+    table = ThroughputTable.from_matrix(roster, matrix)  # job-1 never runs
+    progress = {job_id: 0.5 for job_id in roster}
+    both = Schedule(roster=roster, genome=np.array([0, 0, 1, 1]))
+    only_healthy = Schedule(roster=roster, genome=np.array([0, 0, 0, IDLE]))
+    scalar = score_candidates(
+        [both, only_healthy], jobs, progress, table.as_throughput_fn()
+    )
+    vector = score_population([both, only_healthy], jobs, progress, table)
+    assert np.array_equal(scalar, vector)
+    assert np.isinf(vector[0])
+    assert np.isfinite(vector[1])
+    # Selection must still rank the finite candidate first in both paths.
+    survivors = select_top_k(
+        [both, only_healthy], jobs, {}, None, k=2, rng=0, table=table
+    )
+    assert survivors[0][0].key() == only_healthy.key()
+
+
+def test_zero_progress_jobs_cost_nothing():
+    """Eq. 8: brand-new jobs contribute zero in both engines."""
+    jobs = make_jobs(3)  # never started: samples_processed == 0
+    num_gpus = 8
+    topology = make_longhorn_cluster(num_gpus)
+    model = ThroughputModel(topology)
+    limits = {job_id: job.spec.base_batch for job_id, job in jobs.items()}
+    roster = tuple(sorted(jobs))
+    table = ThroughputTable(model, jobs, limits, num_gpus, roster=roster)
+    candidate = Schedule(
+        roster=roster, genome=np.array([0, 1, 2, IDLE, IDLE, IDLE, IDLE, IDLE])
+    )
+    progress = {job_id: 0.5 for job_id in roster}
+    vector = score_population([candidate], jobs, progress, table)
+    scalar = score_candidates([candidate], jobs, progress, table.as_throughput_fn())
+    assert np.array_equal(scalar, vector)
+    assert vector[0] == 0.0
+
+
+def test_population_gpu_counts_matches_schedule_queries():
+    rng = np.random.default_rng(7)
+    jobs = make_jobs(5)
+    roster = tuple(sorted(jobs))
+    candidates = []
+    for _ in range(10):
+        genome = rng.integers(-1, 5, size=12).astype(np.int64)
+        candidates.append(Schedule(roster=roster, genome=genome))
+    counts = population_gpu_counts(stack_genomes(candidates), len(roster))
+    for k, candidate in enumerate(candidates):
+        for j, job_id in enumerate(roster):
+            assert counts[k, j] == candidate.gpu_count(job_id)
+
+
+def test_empty_roster_and_empty_population():
+    counts = population_gpu_counts(np.full((3, 4), IDLE, dtype=np.int64), 0)
+    assert counts.shape == (3, 0)
+    table = ThroughputTable.from_matrix((), np.zeros((0, 5)))
+    assert score_population([], {}, {}, table).shape == (0,)
+
+
+def test_sample_progress_matches_sequential_scalar_draws():
+    """One vectorised RNG call must reproduce the per-job scalar stream."""
+    jobs = make_jobs(6)
+    distributions = {
+        job_id: BetaDistribution(1.0 + i, 2.0 + 3 * i)
+        for i, job_id in enumerate(sorted(jobs))
+    }
+    # Drop some jobs from the distribution map to exercise the uniform prior.
+    del distributions["job-2"], distributions["job-4"]
+    batched = sample_progress(jobs, distributions, rng=123)
+    reference_rng = np.random.default_rng(123)
+    for job_id in jobs:
+        dist = distributions.get(job_id, BetaDistribution(1.0, 1.0))
+        assert batched[job_id] == dist.sample(reference_rng)
+
+
+def test_fill_idle_gpus_table_path_matches_generic_path():
+    """The count-based fill must pick exactly the moves of the generic path."""
+    from dataclasses import replace
+
+    from repro.core.operators import fill_idle_gpus
+    from tests._core_helpers import make_context
+
+    rng = np.random.default_rng(5)
+    for num_gpus, num_jobs in [(8, 2), (8, 5), (16, 6)]:
+        jobs = make_jobs(num_jobs)
+        for i, job in enumerate(jobs.values()):
+            if i % 3 == 0:
+                continue
+            job.start_running(0.0, [i % num_gpus], [64])
+            job.advance(int(rng.integers(500, 4000)), 10.0)
+        topology = make_longhorn_cluster(num_gpus)
+        model = ThroughputModel(topology)
+        limits = {job_id: job.spec.base_batch * 4 for job_id, job in jobs.items()}
+        roster = tuple(sorted(jobs))
+        table = ThroughputTable(model, jobs, limits, num_gpus, roster=roster)
+        base_ctx = make_context(jobs, num_gpus=num_gpus, limits=limits)
+        generic_ctx = replace(base_ctx, throughput_fn=table.as_throughput_fn())
+        table_ctx = replace(base_ctx, throughput_fn=None, throughput_table=table)
+        for _ in range(10):
+            genome = rng.integers(0, num_jobs, size=num_gpus).astype(np.int64)
+            genome[rng.random(num_gpus) < 0.5] = IDLE
+            partial = Schedule(roster=roster, genome=genome)
+            via_table = fill_idle_gpus(partial, table_ctx)
+            via_generic = fill_idle_gpus(partial, generic_ctx)
+            assert np.array_equal(via_table.genome, via_generic.genome)

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.jobs.model_zoo import get_model
-from repro.jobs.throughput import ThroughputModel, split_batch
+from repro.jobs.throughput import (
+    BoundedMemo,
+    ThroughputModel,
+    ThroughputTable,
+    derive_global_batch,
+    split_batch,
+)
 
 
 class TestSplitBatch:
@@ -120,3 +126,184 @@ class TestFigure2Shape:
             model.scaling_curve(resnet, [1, 2])
         with pytest.raises(ValueError):
             model.scaling_curve(resnet, [1, 2], global_batch=256, local_batch=64)
+
+
+class TestDeriveGlobalBatch:
+    def test_zero_for_no_gpus(self):
+        assert derive_global_batch(0, 64, 512, 4000) == 0
+
+    def test_limited_by_memory_limit_and_dataset(self):
+        # natural = count * max_local_batch caps the batch...
+        assert derive_global_batch(2, 64, 512, 4000) == 128
+        # ...the limit R_j caps it next...
+        assert derive_global_batch(8, 64, 300, 4000) == 300
+        # ...and the dataset size caps everything.
+        assert derive_global_batch(8, 64, 512, 100) == 100
+
+    def test_at_least_one_sample_per_worker(self):
+        assert derive_global_batch(8, 64, 2, 4000) == 8
+
+    def test_matches_schedule_derivation(self):
+        from repro.core.schedule import IDLE, Schedule
+        from tests._core_helpers import make_jobs
+
+        jobs = make_jobs(2)
+        roster = tuple(sorted(jobs))
+        schedule = Schedule(
+            roster=roster, genome=np.array([0, 0, 1, IDLE], dtype=np.int64)
+        )
+        for job_id, job in jobs.items():
+            assert schedule.global_batch(job, 256) == derive_global_batch(
+                schedule.gpu_count(job_id), job.spec.max_local_batch, 256,
+                job.dataset_size,
+            )
+
+
+class TestBoundedMemo:
+    def test_bounded_with_lru_eviction(self):
+        memo = BoundedMemo(max_entries=3)
+        for key in "abc":
+            memo[key] = 1.0
+        memo.get("a")  # refresh 'a' so 'b' is the least recently used
+        memo["d"] = 4.0
+        assert len(memo) == 3
+        assert "a" in memo and "b" not in memo
+
+    def test_hit_miss_counters(self):
+        memo = BoundedMemo(max_entries=8)
+        memo["k"] = 2.0
+        assert memo.get("k") == 2.0
+        assert memo.get("missing") is None
+        assert memo.hits == 1 and memo.misses == 1
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            BoundedMemo(max_entries=0)
+
+
+class TestThroughputTable:
+    def _fixture(self, num_gpus=8, num_jobs=3):
+        from repro.cluster.topology import make_longhorn_cluster
+        from tests._core_helpers import make_jobs
+
+        jobs = make_jobs(num_jobs)
+        topology = make_longhorn_cluster(num_gpus)
+        model = ThroughputModel(topology)
+        limits = {job_id: job.spec.base_batch * 4 for job_id, job in jobs.items()}
+        return jobs, model, limits, num_gpus
+
+    def test_matches_canonical_model_evaluation(self):
+        jobs, model, limits, num_gpus = self._fixture()
+        table = ThroughputTable(model, jobs, limits, num_gpus)
+        for job_id, job in jobs.items():
+            for count in (1, 3, num_gpus):
+                expected = model.throughput_even(
+                    job.spec.model,
+                    derive_global_batch(
+                        count, job.spec.max_local_batch, limits[job_id],
+                        job.dataset_size,
+                    ),
+                    range(count),
+                )
+                assert table.throughput(job_id, count) == expected
+
+    def test_lazy_fill_is_bounded(self):
+        jobs, model, limits, num_gpus = self._fixture()
+        table = ThroughputTable(model, jobs, limits, num_gpus)
+        # The zero-count column of both locality planes starts filled.
+        assert table.filled_entries == 2 * len(jobs)
+        table.throughput("job-0", 4)
+        assert table.filled_entries == 2 * len(jobs) + 1
+        table.matrix()
+        assert table.filled_entries == table.capacity
+        assert table.capacity == len(jobs) * (num_gpus + 1) * 2
+
+    def test_vectorised_lookup_matches_scalar(self):
+        jobs, model, limits, num_gpus = self._fixture()
+        table = ThroughputTable(model, jobs, limits, num_gpus)
+        roster = table.roster
+        counts = np.array([[1, 0, 5], [2, 2, 2], [0, 0, 8]], dtype=np.int64)
+        values = table.lookup(counts)
+        for k in range(counts.shape[0]):
+            for j, job_id in enumerate(roster):
+                assert values[k, j] == table.throughput(job_id, int(counts[k, j]))
+
+    def test_lookup_validates_shape(self):
+        jobs, model, limits, num_gpus = self._fixture()
+        table = ThroughputTable(model, jobs, limits, num_gpus)
+        with pytest.raises(ValueError):
+            table.lookup(np.zeros((2, 99), dtype=np.int64))
+
+    def test_count_out_of_range_rejected(self):
+        jobs, model, limits, num_gpus = self._fixture()
+        table = ThroughputTable(model, jobs, limits, num_gpus)
+        with pytest.raises(ValueError):
+            table.throughput("job-0", num_gpus + 1)
+
+    def test_shared_memo_avoids_repeat_model_calls(self):
+        jobs, model, limits, num_gpus = self._fixture()
+        memo = BoundedMemo(max_entries=1024)
+        first = ThroughputTable(model, jobs, limits, num_gpus, memo=memo)
+        first.matrix()
+        assert first.model_calls > 0
+        second = ThroughputTable(model, jobs, limits, num_gpus, memo=memo)
+        second.matrix()
+        assert second.model_calls == 0  # every entry came from the memo
+
+    def test_as_throughput_fn_adapter(self):
+        from repro.core.schedule import IDLE, Schedule
+
+        jobs, model, limits, num_gpus = self._fixture()
+        table = ThroughputTable(model, jobs, limits, num_gpus)
+        fn = table.as_throughput_fn()
+        roster = table.roster
+        genome = np.full(num_gpus, IDLE, dtype=np.int64)
+        genome[:2] = 0
+        schedule = Schedule(roster=roster, genome=genome)
+        assert fn(jobs[roster[0]], schedule) == table.throughput(roster[0], 2)
+        assert fn(jobs[roster[1]], schedule) == 0.0
+
+    def test_from_matrix_is_frozen(self):
+        table = ThroughputTable.from_matrix(("a", "b"), np.ones((2, 4)))
+        assert table.throughput("a", 3) == 1.0
+        with pytest.raises(ValueError):
+            ThroughputTable.from_matrix(("a",), np.ones((2, 4)))
+        sparse = np.ones((1, 4))
+        sparse[0, 2] = np.nan
+        frozen = ThroughputTable.from_matrix(("a",), sparse)
+        with pytest.raises(RuntimeError):
+            frozen.throughput("a", 2)
+
+    def test_adapter_matches_placement_aware_model(self):
+        """The locality planes restore the seed's placement sensitivity:
+        the table agrees with the analytic model on ANY placement, packed
+        or node-straddling, on the uniform star topology."""
+        from repro.core.schedule import IDLE, Schedule
+        from tests._core_helpers import make_jobs
+
+        jobs, model, limits, num_gpus = self._fixture(num_gpus=16, num_jobs=3)
+        table = ThroughputTable(model, jobs, limits, num_gpus)
+        fn = table.as_throughput_fn()
+        roster = table.roster
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            genome = rng.integers(0, len(roster), size=num_gpus).astype(np.int64)
+            genome[rng.random(num_gpus) < 0.4] = IDLE
+            schedule = Schedule(roster=roster, genome=genome)
+            for job_id in schedule.placed_jobs():
+                job = jobs[job_id]
+                direct = model.throughput_even(
+                    job.spec.model,
+                    schedule.global_batch(job, limits[job_id]),
+                    schedule.gpus_of(job_id),
+                )
+                assert fn(job, schedule) == pytest.approx(direct)
+
+    def test_planes_differ_across_node_boundary(self):
+        """A 2-GPU placement inside one server must beat the same count
+        straddling two servers (NVLink vs InfiniBand ring)."""
+        jobs, model, limits, num_gpus = self._fixture()
+        table = ThroughputTable(model, jobs, limits, num_gpus)
+        intra = table.throughput("job-0", 2, crosses_nodes=False)
+        inter = table.throughput("job-0", 2, crosses_nodes=True)
+        assert intra > inter > 0
