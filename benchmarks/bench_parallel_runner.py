@@ -1,0 +1,106 @@
+"""Serial vs process-pool execution of an experiment grid.
+
+The Fig. 15/17 sweeps are embarrassingly parallel across (scheduler,
+capacity, seed) cells; the declarative Runner exploits that with its
+process-pool backend.  This bench runs the same scaled-down grid through
+the serial backend and a 2-worker pool, asserts the artifacts are
+bit-identical, and records the wall-clock of both paths (plus a resumed
+run served entirely from the cell cache) in ``BENCH_runner.json``.
+
+Run with ``PYTHONPATH=src python -m benchmarks.bench_parallel_runner``
+or through pytest.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from time import perf_counter
+from typing import Dict
+
+from benchmarks._shared import SCALES, SEED, write_perf_record, write_report
+
+from repro.experiments.orchestrator import Runner
+from repro.experiments.spec import ExperimentSpec
+from repro.sim.simulator import SimulationConfig
+from repro.workload.trace import TraceConfig
+
+WORKERS = 2
+
+
+def _grid(scale: Dict) -> ExperimentSpec:
+    return ExperimentSpec(
+        schedulers=("ONES", "Tiresias", "Optimus", "FIFO"),
+        capacities=tuple(scale["capacities"]),
+        seeds=(SEED, SEED + 1),
+        traces=(TraceConfig(num_jobs=scale["num_jobs"], arrival_rate=1.0 / 15.0,
+                            convergence_patience=5),),
+        simulation=SimulationConfig(max_time=24 * 3600.0),
+        scheduler_options={"ONES": {"population_size": 8}},
+    )
+
+
+def run_bench(scale_name: str = "small") -> Dict:
+    """Time the grid on both backends; returns the machine-readable record."""
+    spec = _grid(SCALES[scale_name])
+
+    start = perf_counter()
+    serial = Runner(backend="serial").run(spec)
+    serial_time = perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        pool_runner = Runner(backend="process", workers=WORKERS, cache_dir=cache_dir)
+        start = perf_counter()
+        parallel = pool_runner.run(spec)
+        parallel_time = perf_counter() - start
+
+        start = perf_counter()
+        resumed = pool_runner.run(spec, resume=True)
+        resumed_time = perf_counter() - start
+        cells_resumed_from_cache = pool_runner.stats.cached_cells
+
+    if serial.runs != parallel.runs or serial.runs != resumed.runs:
+        raise AssertionError("process-pool/resumed artifacts diverged from serial")
+
+    return {
+        "scale": scale_name,
+        "cells": spec.num_cells,
+        "workers": WORKERS,
+        # Pool speedup requires actual cores; on a 1-CPU machine the
+        # parallel wall-clock is expected to match serial (+/- overhead).
+        "cpus": os.cpu_count(),
+        "serial_seconds": round(serial_time, 3),
+        "parallel_seconds": round(parallel_time, 3),
+        "speedup": round(serial_time / parallel_time, 2) if parallel_time > 0 else None,
+        "resume_seconds": round(resumed_time, 3),
+        "cells_resumed_from_cache": cells_resumed_from_cache,
+        "bit_identical": True,
+    }
+
+
+def test_parallel_runner_benchmark():
+    """Pytest entry point (small scale so the benchmark suite stays fast)."""
+    record = run_bench("small")
+    assert record["bit_identical"]
+    assert record["cells_resumed_from_cache"] == record["cells"]
+
+
+def main() -> None:
+    record = run_bench("small")
+    write_perf_record("runner", record)
+    lines = [
+        "Parallel experiment runner (serial vs process-pool backend)",
+        "-----------------------------------------------------------",
+        f"grid: {record['cells']} cells, {record['workers']} workers, "
+        f"{record['cpus']} CPUs",
+        f"serial    : {record['serial_seconds']:.2f}s",
+        f"parallel  : {record['parallel_seconds']:.2f}s  (speedup {record['speedup']}x)",
+        f"resume    : {record['resume_seconds']:.2f}s  "
+        f"({record['cells_resumed_from_cache']}/{record['cells']} cells from cache)",
+        "artifacts : bit-identical across backends",
+    ]
+    write_report("parallel_runner", "\n".join(lines))
+
+
+if __name__ == "__main__":
+    main()

@@ -2,15 +2,17 @@
 """Compare ONES against DRL, Tiresias and Optimus on a shared trace.
 
 This is a scaled-down version of the paper's main experiment (Fig. 15 and
-Table 4): every scheduler replays exactly the same 20-job trace on a
-32-GPU cluster, and the script prints average JCT / execution / queuing
-time, the fraction of jobs finished within 200 s, and Wilcoxon
-significance tests of ONES against each baseline.
+Table 4), expressed with the declarative orchestration API: an
+:class:`~repro.experiments.spec.ExperimentSpec` grid describes the runs,
+a :class:`~repro.experiments.orchestrator.Runner` executes them — serially
+or on a process pool (``--workers``), with optional on-disk caching so a
+re-run only executes missing cells (``--cache-dir`` + ``--resume``).
 
 Run with::
 
-    python examples/compare_schedulers.py            # ~1-2 minutes
-    python examples/compare_schedulers.py --quick    # smaller, ~20 s
+    python examples/compare_schedulers.py              # ~1-2 minutes
+    python examples/compare_schedulers.py --quick      # smaller, ~20 s
+    python examples/compare_schedulers.py --workers 4  # parallel cells
 """
 
 from __future__ import annotations
@@ -20,8 +22,7 @@ import argparse
 from repro.analysis.metrics import completion_fraction_within
 from repro.analysis.reporting import ascii_bar_chart, format_table
 from repro.analysis.stats import significance_table
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_comparison
+from repro.experiments import ExperimentSpec, Runner
 from repro.workload.trace import TraceConfig
 
 
@@ -31,19 +32,34 @@ def main() -> None:
     parser.add_argument("--gpus", type=int, default=None, help="cluster size (multiple of 4)")
     parser.add_argument("--jobs", type=int, default=None, help="number of jobs in the trace")
     parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (1 = serial; results are identical)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache per-cell artifacts here (enables --resume)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cells already cached in --cache-dir")
     args = parser.parse_args()
+    if args.resume and not args.cache_dir:
+        parser.error("--resume requires --cache-dir (the cell cache lives there)")
 
     num_gpus = args.gpus or (16 if args.quick else 32)
     num_jobs = args.jobs or (10 if args.quick else 20)
 
-    config = ExperimentConfig(
+    spec = ExperimentSpec.comparison(
         num_gpus=num_gpus,
-        trace=TraceConfig(num_jobs=num_jobs, arrival_rate=1.0 / 30.0),
         seed=args.seed,
+        trace=TraceConfig(num_jobs=num_jobs, arrival_rate=1.0 / 30.0),
     )
     print(f"Running {num_jobs} jobs on {num_gpus} GPUs with schedulers: "
-          f"{', '.join(config.scheduler_factories())}")
-    comparison = run_comparison(config)
+          f"{', '.join(spec.schedulers)}")
+    runner = Runner(
+        backend="process" if args.workers > 1 else "serial",
+        workers=args.workers if args.workers > 1 else None,
+        cache_dir=args.cache_dir,
+    )
+    sweep = runner.run(spec, resume=args.resume)
+    print(f"[runner] {runner.stats.describe()} ({runner.backend.name} backend)")
+    comparison = sweep.to_comparisons()[num_gpus]
 
     for metric, label in [
         ("jct", "Average JCT (s)"),

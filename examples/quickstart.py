@@ -5,18 +5,21 @@ Run with::
 
     python examples/quickstart.py
 
-The script builds a 16-GPU Longhorn-like cluster, generates a 10-job trace
-from the paper's Table-2 workload catalogue, replays it under the ONES
-scheduler and prints per-job and aggregate scheduling metrics.
+The script resolves the ONES scheduler from the experiment registry by
+name, generates a 10-job trace from the paper's Table-2 workload
+catalogue, replays it on a 16-GPU Longhorn-like cluster through the
+shared execution path (:func:`repro.experiments.simulate_trace`) and
+prints per-job and aggregate scheduling metrics.  To run whole grids of
+(scheduler x capacity x seed) cells — in parallel, with caching — see
+``examples/compare_schedulers.py`` and the ``Runner`` API.
 """
 
 from __future__ import annotations
 
 from repro.analysis.reporting import format_table
 from repro.cluster.topology import make_longhorn_cluster
-from repro.core.evolution import EvolutionConfig
-from repro.core.ones_scheduler import ONESConfig, ONESScheduler
-from repro.sim.simulator import ClusterSimulator, SimulationConfig
+from repro.experiments import create_scheduler, simulate_trace
+from repro.sim.simulator import SimulationConfig
 from repro.utils.units import format_duration
 from repro.workload.trace import TraceConfig, TraceGenerator
 
@@ -32,16 +35,14 @@ def main() -> None:
     print(f"Trace: {len(trace)} jobs, first arrival at t=0, "
           f"last at t={trace[-1].arrival_time:.0f}s")
 
-    # 3. The ONES scheduler (small population so the example runs in seconds).
-    scheduler = ONESScheduler(
-        ONESConfig(evolution=EvolutionConfig(population_size=8)), seed=42
-    )
+    # 3. The ONES scheduler, resolved from the registry by name
+    #    (small population so the example runs in seconds).
+    scheduler = create_scheduler("ONES", seed=42, population_size=8)
 
     # 4. Replay the trace.
-    simulator = ClusterSimulator(
-        topology, scheduler, trace, config=SimulationConfig(max_time=24 * 3600)
+    result = simulate_trace(
+        scheduler, trace, num_gpus=16, simulation=SimulationConfig(max_time=24 * 3600)
     )
-    result = simulator.run()
 
     # 5. Report.
     rows = []

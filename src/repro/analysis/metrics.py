@@ -50,6 +50,17 @@ def metric_values(result: SimulationResult, metric: str) -> np.ndarray:
     )
 
 
+def mean_metric(result: SimulationResult, metric: str = "jct") -> float:
+    """Mean of ``metric`` over completed jobs (``nan`` when nothing completed).
+
+    The single metric-lookup used by ``ComparisonResult.averages`` /
+    ``.improvements`` and the sweep-artifact aggregations, so every
+    average printed anywhere in the repo comes from the same code path.
+    """
+    values = metric_values(result, metric)
+    return float(values.mean()) if values.size else float("nan")
+
+
 def metric_summary(result: SimulationResult, metric: str) -> MetricSummary:
     """Summarise one metric of one scheduler run."""
     values = metric_values(result, metric)

@@ -12,16 +12,26 @@ Installed as the ``repro-ones`` console script (also runnable as
     Run the Fig. 15 comparison (ONES vs DRL / Tiresias / Optimus) on a
     shared trace and print averages, improvements and Wilcoxon tests.
 ``sweep``
-    Run the Fig. 17/18 scalability sweep over several cluster sizes.
+    Run the Fig. 17/18 scalability sweep over several cluster sizes
+    (and optionally several seeds).
+``schedulers``
+    List every scheduler in the registry with its Table-3 capabilities.
 ``figures``
     Regenerate the analytic figures (2, 3, 13, 14, 16) without running
     cluster simulations.
+
+``compare`` and ``sweep`` are built on the declarative orchestration
+API: the grid is an :class:`~repro.experiments.spec.ExperimentSpec`
+executed by a :class:`~repro.experiments.orchestrator.Runner`.
+``--workers N`` fans the grid's cells out over a process pool (results
+are bit-identical to serial execution), ``--output-dir`` persists every
+cell artifact plus the sweep JSON and a Markdown report, and
+``--resume`` skips cells whose artifacts are already cached there.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -35,35 +45,52 @@ from repro.analysis.export import (
 )
 from repro.analysis.reporting import ascii_bar_chart, ascii_series, format_table
 from repro.analysis.stats import significance_table
-from repro.baselines.drl import DRLScheduler
-from repro.baselines.fifo import FIFOScheduler
-from repro.baselines.gandiva import GandivaScheduler
-from repro.baselines.optimus import OptimusScheduler
-from repro.baselines.srtf import SRTFScheduler
-from repro.baselines.tiresias import TiresiasScheduler
-from repro.core.evolution import EvolutionConfig
-from repro.core.ones_scheduler import ONESConfig, ONESScheduler
 from repro.experiments import figures
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import (
-    generate_trace,
-    run_comparison,
-    run_scalability_sweep,
-    run_single,
+from repro.experiments.orchestrator import Runner
+from repro.experiments.registry import (
+    available_schedulers,
+    capabilities_table,
+    create_scheduler,
+    paper_schedulers,
+    resolve,
 )
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.backends import simulate_trace
+from repro.sim.simulator import SimulationConfig
 from repro.workload.replay import load_trace, save_trace, trace_statistics
 from repro.workload.trace import TraceConfig, TraceGenerator
 
-#: CLI name → scheduler factory.
-SCHEDULERS = {
-    "ones": lambda seed: ONESScheduler(seed=seed),
-    "drl": lambda seed: DRLScheduler(seed=seed),
-    "tiresias": lambda seed: TiresiasScheduler(),
-    "optimus": lambda seed: OptimusScheduler(),
-    "gandiva": lambda seed: GandivaScheduler(),
-    "fifo": lambda seed: FIFOScheduler(),
-    "srtf": lambda seed: SRTFScheduler(),
-}
+class _RegistryView:
+    """Live lowercase-name view of the scheduler registry.
+
+    Kept under the historical ``SCHEDULERS`` name for backwards
+    compatibility; reading it always reflects the *current* registry, so
+    schedulers registered after this module was imported are reachable
+    from the CLI too.
+    """
+
+    def _names(self) -> List[str]:
+        return [name.lower() for name in available_schedulers()]
+
+    def __iter__(self):
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        return len(self._names())
+
+    def __contains__(self, name: object) -> bool:
+        return str(name).lower() in self._names()
+
+    def __getitem__(self, name: str):
+        canonical = resolve(name).name
+        return lambda seed: create_scheduler(canonical, seed)
+
+    def keys(self):
+        return self._names()
+
+
+#: CLI name -> seed-only scheduler factory (a live registry view).
+SCHEDULERS = _RegistryView()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,10 +119,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", type=Path, default=None, help="export run summary to JSON")
 
     compare = sub.add_parser("compare", help="compare ONES against the paper baselines")
+    compare.add_argument("--schedulers", nargs="+", choices=sorted(SCHEDULERS),
+                         default=None, metavar="NAME",
+                         help="registry names to compare (default: the paper's four)")
     compare.add_argument("--gpus", type=int, default=64)
     compare.add_argument("--jobs", type=int, default=50)
     compare.add_argument("--arrival-interval", type=float, default=30.0)
     compare.add_argument("--seed", type=int, default=2021)
+    compare.add_argument("--workers", type=int, default=1,
+                         help="run cells on a process pool of this size (1 = serial)")
+    compare.add_argument("--output-dir", type=Path, default=None,
+                         help="persist per-cell artifacts, sweep JSON and report here")
+    compare.add_argument("--resume", action="store_true",
+                         help="reuse cell artifacts cached in --output-dir")
     compare.add_argument("--csv", type=Path, default=None)
     compare.add_argument("--json", type=Path, default=None)
     compare.add_argument("--report", type=Path, default=None,
@@ -103,10 +139,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="scalability sweep over cluster capacities")
     sweep.add_argument("--capacities", type=int, nargs="+", default=[16, 32, 48, 64])
+    sweep.add_argument("--schedulers", nargs="+", choices=sorted(SCHEDULERS),
+                       default=None, metavar="NAME",
+                       help="registry names to compare (default: the paper's four)")
     sweep.add_argument("--jobs", type=int, default=50)
     sweep.add_argument("--arrival-interval", type=float, default=30.0)
-    sweep.add_argument("--seed", type=int, default=2021)
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[2021],
+                       help="one run per (scheduler, capacity, seed) cell")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="run cells on a process pool of this size (1 = serial)")
+    sweep.add_argument("--output-dir", type=Path, default=None,
+                       help="persist per-cell artifacts, sweep JSON and report here")
+    sweep.add_argument("--resume", action="store_true",
+                       help="reuse cell artifacts cached in --output-dir")
     sweep.add_argument("--json", type=Path, default=None)
+
+    scheds = sub.add_parser("schedulers", help="list the scheduler registry (Table 3)")
+    scheds.add_argument("--paper-only", action="store_true",
+                        help="only the four schedulers of the paper's comparison")
 
     figs = sub.add_parser("figures", help="regenerate the analytic figures (2, 3, 13, 14, 16)")
     figs.add_argument("--which", choices=["fig2", "fig3", "fig13", "fig14", "fig16", "all"],
@@ -115,12 +165,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _experiment_config(args) -> ExperimentConfig:
-    return ExperimentConfig(
-        num_gpus=args.gpus,
-        trace=TraceConfig(num_jobs=args.jobs, arrival_rate=1.0 / args.arrival_interval),
-        seed=args.seed,
+def _canonical_names(names: Optional[Sequence[str]]) -> List[str]:
+    """CLI scheduler names (any case) -> canonical registry names."""
+    if names is None:
+        return list(paper_schedulers())
+    return [resolve(name).name for name in names]
+
+
+def _dedupe(values: Sequence) -> tuple:
+    """Drop repeated CLI values, keeping first-seen order.
+
+    Repeats are tolerated (``--capacities 16 16`` just runs 16 once)
+    rather than rejected by the spec's duplicate validation.
+    """
+    return tuple(dict.fromkeys(values))
+
+
+def _experiment_spec(args, capacities: Sequence[int], seeds: Sequence[int]) -> ExperimentSpec:
+    return ExperimentSpec(
+        schedulers=_dedupe(_canonical_names(args.schedulers)),
+        capacities=_dedupe(capacities),
+        seeds=_dedupe(seeds),
+        traces=(TraceConfig(num_jobs=args.jobs, arrival_rate=1.0 / args.arrival_interval),),
     )
+
+
+def _make_runner(args) -> Runner:
+    if args.resume and not args.output_dir:
+        raise SystemExit("--resume requires --output-dir (the cell cache lives there)")
+    cache_dir = args.output_dir / "cells" if args.output_dir else None
+    backend = "process" if args.workers and args.workers > 1 else "serial"
+    return Runner(backend=backend, workers=args.workers if backend == "process" else None,
+                  cache_dir=cache_dir)
 
 
 # --- sub-command implementations ---------------------------------------------------------------
@@ -137,10 +213,13 @@ def cmd_trace(args) -> int:
 
 
 def cmd_run(args) -> int:
-    config = _experiment_config(args)
-    trace = load_trace(args.trace) if args.trace else generate_trace(config)
+    trace_config = TraceConfig(num_jobs=args.jobs, arrival_rate=1.0 / args.arrival_interval)
     scheduler = SCHEDULERS[args.scheduler](args.seed)
-    result = run_single(scheduler, trace, config)
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        trace = TraceGenerator(trace_config, seed=args.seed).generate()
+    result = simulate_trace(scheduler, trace, args.gpus, SimulationConfig())
     summary = result.summary()
     print(format_table([{"metric": k, "value": v} for k, v in summary.items()]))
     if result.incomplete:
@@ -153,8 +232,11 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    config = _experiment_config(args)
-    comparison = run_comparison(config)
+    spec = _experiment_spec(args, capacities=[args.gpus], seeds=[args.seed])
+    runner = _make_runner(args)
+    sweep = runner.run(spec, resume=args.resume)
+    print(f"[runner] {runner.stats.describe()} ({runner.backend.name} backend)")
+    comparison = sweep.to_comparisons()[args.gpus]
     print("Average JCT (s)")
     print(ascii_bar_chart(comparison.averages("jct"), unit="s"))
     print()
@@ -163,15 +245,17 @@ def cmd_compare(args) -> int:
     print()
     print("Average queuing time (s)")
     print(ascii_bar_chart(comparison.averages("queuing_time"), unit="s"))
-    print()
-    print("ONES improvement over baselines (average JCT):")
-    for name, value in comparison.improvements("ONES").items():
-        print(f"  vs {name:10s}: {100 * value:5.1f}%")
-    ones = comparison.results["ONES"]
-    baselines = [r for n, r in comparison.results.items() if n != "ONES"]
-    print()
-    print("Wilcoxon tests (Table 4):")
-    print(format_table([r.as_row() for r in significance_table(ones, baselines).values()]))
+    reference = "ONES" if "ONES" in comparison.results else None
+    if reference and len(comparison.results) > 1:
+        print()
+        print(f"{reference} improvement over baselines (average JCT):")
+        for name, value in comparison.improvements(reference).items():
+            print(f"  vs {name:10s}: {100 * value:5.1f}%")
+        ref_result = comparison.results[reference]
+        baselines = [r for n, r in comparison.results.items() if n != reference]
+        print()
+        print("Wilcoxon tests (Table 4):")
+        print(format_table([r.as_row() for r in significance_table(ref_result, baselines).values()]))
     if args.csv:
         print(f"per-job metrics written to {export_comparison_csv(comparison, args.csv)}")
     if args.json:
@@ -180,32 +264,62 @@ def cmd_compare(args) -> int:
         from repro.experiments.report import write_comparison_report
 
         print(f"markdown report written to {write_comparison_report(comparison, args.report)}")
+    if args.output_dir:
+        _persist_sweep(sweep, args.output_dir)
     return 0
 
 
 def cmd_sweep(args) -> int:
-    base = ExperimentConfig(
-        num_gpus=max(args.capacities),
-        trace=TraceConfig(num_jobs=args.jobs, arrival_rate=1.0 / args.arrival_interval),
-        seed=args.seed,
-    )
-    sweep = run_scalability_sweep(capacities=args.capacities, base_config=base)
-    capacities = sorted(sweep)
-    series: Dict[str, List[float]] = {}
-    for capacity in capacities:
-        for name, value in sweep[capacity].averages("jct").items():
-            series.setdefault(name, []).append(round(value, 1))
+    spec = _experiment_spec(args, capacities=args.capacities, seeds=args.seeds)
+    runner = _make_runner(args)
+    sweep = runner.run(spec, resume=args.resume)
+    print(f"[runner] {runner.stats.describe()} ({runner.backend.name} backend)")
+    capacities = sorted(spec.capacities)
+    averages = sweep.mean_metric_table("jct")
+    series: Dict[str, List[float]] = {
+        name: [round(by_cap[c], 1) for c in capacities] for name, by_cap in averages.items()
+    }
     print("Average JCT (s) vs cluster capacity (Fig. 17)")
     print(ascii_series(capacities, series, x_label="# GPUs"))
-    relative: Dict[str, List[float]] = {}
-    for capacity in capacities:
-        for name, value in sweep[capacity].relative_jct("ONES").items():
-            relative.setdefault(name, []).append(round(value, 2))
-    print()
-    print("Relative JCT, ONES = 1.0 (Fig. 18)")
-    print(ascii_series(capacities, relative, x_label="# GPUs"))
+    if "ONES" in spec.schedulers:
+        relative = sweep.relative_to("ONES", "jct")
+        rel_series = {
+            name: [round(by_cap[c], 2) for c in capacities]
+            for name, by_cap in relative.items()
+        }
+        print()
+        print("Relative JCT, ONES = 1.0 (Fig. 18)")
+        print(ascii_series(capacities, rel_series, x_label="# GPUs"))
     if args.json:
-        print(f"sweep written to {export_sweep_json(sweep, args.json)}")
+        if len(spec.seeds) == 1:
+            print(f"sweep written to {export_sweep_json(sweep.to_comparisons(), args.json)}")
+        else:
+            args.json.write_text(sweep.to_json() + "\n")
+            print(f"sweep artifact written to {args.json}")
+    if args.output_dir:
+        _persist_sweep(sweep, args.output_dir)
+    return 0
+
+
+def _persist_sweep(sweep, output_dir: Path) -> None:
+    """Write the sweep artifact + Markdown report into ``output_dir``."""
+    from repro.experiments.report import write_sweep_report
+
+    output_dir.mkdir(parents=True, exist_ok=True)
+    artifact_path = sweep.save(output_dir / f"sweep-{sweep.spec.sweep_key()}.json")
+    report_path = write_sweep_report(sweep, output_dir / "sweep_report.md")
+    print(f"sweep artifact written to {artifact_path}")
+    print(f"sweep report written to {report_path}")
+    print(f"per-cell artifacts cached under {output_dir / 'cells'}")
+
+
+def cmd_schedulers(args) -> int:
+    rows = capabilities_table()
+    if args.paper_only:
+        wanted = set(paper_schedulers())
+        rows = [row for row in rows if row["Scheduler"] in wanted]
+    print("Registered schedulers (Table 3 capabilities):")
+    print(format_table(rows))
     return 0
 
 
@@ -265,6 +379,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
+        "schedulers": cmd_schedulers,
         "figures": cmd_figures,
     }
     return handlers[args.command](args)

@@ -1,27 +1,91 @@
-"""Experiment harness: configurations and runners for every table and figure.
+"""Experiment orchestration: declarative specs, registry, runner, artifacts.
 
-* :mod:`repro.experiments.config` — experiment configuration objects.
-* :mod:`repro.experiments.runner` — run one scheduler (or all of them)
-  over a shared trace; scalability sweeps.
-* :mod:`repro.experiments.figures` — generators that return the data
-  behind each figure/table of the paper; the benchmark scripts call
-  these and print the results.
+The public API for producing every table and figure of the paper:
+
+* :mod:`repro.experiments.registry` — scheduler registry: string names
+  -> factories + Table-3 capabilities; new schedulers self-register with
+  the :func:`~repro.experiments.registry.register_scheduler` decorator.
+* :mod:`repro.experiments.spec` — declarative
+  :class:`~repro.experiments.spec.ExperimentSpec` grids (schedulers x
+  capacities x seeds x traces) that expand to individual
+  :class:`~repro.experiments.spec.RunSpec` cells.
+* :mod:`repro.experiments.backends` — pluggable execution backends:
+  serial, or a process pool producing bit-identical results in parallel.
+* :mod:`repro.experiments.orchestrator` — the
+  :class:`~repro.experiments.orchestrator.Runner`: executes grids with
+  content-keyed on-disk caching and ``resume`` support.
+* :mod:`repro.experiments.artifacts` — serializable
+  :class:`~repro.experiments.artifacts.RunArtifact` /
+  :class:`~repro.experiments.artifacts.SweepArtifact` results (JSON
+  round-trip, per-job metrics, telemetry summaries).
+* :mod:`repro.experiments.runner` — the legacy ``run_single`` /
+  ``run_comparison`` / ``run_scalability_sweep`` shims.
+* :mod:`repro.experiments.figures` — generators for the analytic
+  figures that need no cluster simulation.
 """
 
+from repro.experiments.artifacts import RunArtifact, SweepArtifact
+from repro.experiments.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    execute_run,
+    make_backend,
+    simulate_run,
+    simulate_trace,
+)
 from repro.experiments.config import ExperimentConfig, default_schedulers
+from repro.experiments.orchestrator import Runner, RunnerStats, run_experiment
+from repro.experiments.registry import (
+    SchedulerEntry,
+    UnknownSchedulerError,
+    available_schedulers,
+    capabilities_table,
+    create_scheduler,
+    paper_schedulers,
+    register_scheduler,
+)
+from repro.experiments.report import build_comparison_report, write_comparison_report
 from repro.experiments.runner import (
     ComparisonResult,
+    generate_trace,
     run_comparison,
     run_scalability_sweep,
     run_single,
 )
-from repro.experiments.report import build_comparison_report, write_comparison_report
+from repro.experiments.spec import ExperimentSpec, RunSpec
 from repro.experiments import figures
 
 __all__ = [
+    # declarative API
+    "ExperimentSpec",
+    "RunSpec",
+    "Runner",
+    "RunnerStats",
+    "run_experiment",
+    "RunArtifact",
+    "SweepArtifact",
+    # backends
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "simulate_trace",
+    "simulate_run",
+    "execute_run",
+    # registry
+    "SchedulerEntry",
+    "UnknownSchedulerError",
+    "register_scheduler",
+    "create_scheduler",
+    "available_schedulers",
+    "paper_schedulers",
+    "capabilities_table",
+    # legacy shims
     "ExperimentConfig",
     "default_schedulers",
     "ComparisonResult",
+    "generate_trace",
     "run_comparison",
     "run_scalability_sweep",
     "run_single",

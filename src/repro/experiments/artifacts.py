@@ -1,0 +1,306 @@
+"""Serializable experiment results: run and sweep artifacts.
+
+A :class:`RunArtifact` pairs the :class:`~repro.experiments.spec.RunSpec`
+that produced a simulation with the (job-less, JSON-round-trippable)
+:class:`~repro.sim.simulator.SimulationResult` and a telemetry summary
+computed while the live ``Job`` objects were still available.  Artifacts
+are deliberately *pure data*: two executions of the same spec — in the
+same process, in a worker of a process pool, or days apart on different
+machines — produce equal artifacts, which is what the backend-parity
+tests assert and what makes content-keyed caching sound.
+
+A :class:`SweepArtifact` is the result of an expanded
+:class:`~repro.experiments.spec.ExperimentSpec`: one artifact per cell,
+in grid order, plus aggregation helpers for the paper's figures (mean
+metric per capacity, relative JCT, ...) and a bridge back to the legacy
+``ComparisonResult`` shape for existing reports and exporters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Union
+
+from repro.analysis.metrics import mean_metric
+from repro.experiments.spec import SCHEMA_VERSION, ExperimentSpec, RunSpec
+from repro.sim.simulator import SimulationResult
+from repro.sim.telemetry import summarize_run
+
+if TYPE_CHECKING:  # pragma: no cover - import only needed for type checkers
+    from repro.experiments.runner import ComparisonResult
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class RunArtifact:
+    """The serializable outcome of executing one :class:`RunSpec` cell."""
+
+    spec: RunSpec
+    result: SimulationResult
+    telemetry: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_simulation(cls, spec: RunSpec, result: SimulationResult) -> "RunArtifact":
+        """Build an artifact from a freshly-run simulation.
+
+        The telemetry summary is computed *now*, while ``result`` still
+        carries its live ``Job`` objects; the stored result is stripped
+        down to its serializable core so artifacts from the serial and
+        process-pool backends are indistinguishable.
+        """
+        telemetry = {
+            key: (value if isinstance(value, str) else float(value))
+            for key, value in summarize_run(result).as_dict().items()
+        }
+        return cls(
+            spec=spec,
+            result=SimulationResult.from_dict(result.to_dict()),
+            telemetry=telemetry,
+        )
+
+    # -- metric views -------------------------------------------------------------------
+
+    @property
+    def scheduler_name(self) -> str:
+        """The scheduler's human-readable name (``SchedulerBase.name``)."""
+        return self.result.scheduler_name
+
+    @property
+    def average_jct(self) -> float:
+        """Mean job completion time over completed jobs."""
+        return self.result.average_jct
+
+    def mean(self, metric: str = "jct") -> float:
+        """Mean of one per-job metric (``jct`` / ``execution_time`` / ``queuing_time``)."""
+        return mean_metric(self.result, metric)
+
+    def to_result(self) -> SimulationResult:
+        """The underlying (job-less) simulation result."""
+        return self.result
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "cell_key": self.spec.cell_key(),
+            "spec": self.spec.to_dict(),
+            "result": self.result.to_dict(),
+            "telemetry": dict(self.telemetry),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RunArtifact":
+        """Rebuild a :class:`RunArtifact` from :meth:`to_dict` output."""
+        return cls(
+            spec=RunSpec.from_dict(payload["spec"]),
+            result=SimulationResult.from_dict(payload["result"]),
+            telemetry=dict(payload.get("telemetry", {})),
+        )
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunArtifact":
+        """Deserialize from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class SweepArtifact:
+    """All cell artifacts of one expanded :class:`ExperimentSpec` grid."""
+
+    spec: ExperimentSpec
+    runs: List[RunArtifact] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self) -> Iterator[RunArtifact]:
+        return iter(self.runs)
+
+    # -- cell lookup --------------------------------------------------------------------
+
+    def _index(self) -> Dict[tuple, RunArtifact]:
+        """One O(runs) pass building ``(scheduler, capacity, seed, trace) -> artifact``.
+
+        Built per call (the ``runs`` list is mutable) so aggregations over
+        large grids stay linear instead of scanning once per cell.
+        """
+        return {
+            (run.spec.scheduler, run.spec.num_gpus, run.spec.seed, run.spec.trace): run
+            for run in self.runs
+        }
+
+    def get(
+        self,
+        scheduler: str,
+        capacity: Optional[int] = None,
+        seed: Optional[int] = None,
+        trace_index: int = 0,
+    ) -> RunArtifact:
+        """The artifact of one cell (defaults: first capacity / first seed)."""
+        capacity = int(capacity if capacity is not None else self.spec.capacities[0])
+        seed = int(seed if seed is not None else self.spec.seeds[0])
+        trace = self.spec.traces[trace_index]
+        run = self._index().get((scheduler, capacity, seed, trace))
+        if run is None:
+            raise KeyError(
+                f"no cell for scheduler={scheduler!r} capacity={capacity} "
+                f"seed={seed} trace_index={trace_index}"
+            )
+        return run
+
+    def results_for(
+        self, capacity: int, seed: Optional[int] = None, trace_index: int = 0
+    ) -> Dict[str, SimulationResult]:
+        """Per-scheduler results of one (capacity, seed, trace) slice, keyed by registry name."""
+        index = self._index()
+        capacity = int(capacity)
+        seed = int(seed if seed is not None else self.spec.seeds[0])
+        trace = self.spec.traces[trace_index]
+        return {
+            name: index[(name, capacity, seed, trace)].to_result()
+            for name in self.spec.schedulers
+        }
+
+    # -- aggregation (Fig. 17/18 views) -------------------------------------------------
+
+    def mean_metric_table(self, metric: str = "jct") -> Dict[str, Dict[int, float]]:
+        """``scheduler -> capacity -> mean(metric)`` averaged over seeds and traces."""
+        table: Dict[str, Dict[int, List[float]]] = {
+            name: {capacity: [] for capacity in self.spec.capacities}
+            for name in self.spec.schedulers
+        }
+        for run in self.runs:
+            table[run.spec.scheduler][run.spec.num_gpus].append(run.mean(metric))
+        return {
+            name: {
+                capacity: float(sum(values) / len(values))
+                for capacity, values in by_capacity.items()
+                if values
+            }
+            for name, by_capacity in table.items()
+        }
+
+    def relative_to(
+        self, reference: str = "ONES", metric: str = "jct"
+    ) -> Dict[str, Dict[int, float]]:
+        """``scheduler -> capacity -> metric / reference-metric`` (Fig. 18 shape).
+
+        The ratio is taken per (trace, seed, capacity) slice — i.e. against
+        the reference run that saw exactly the same workload — and then
+        averaged over seeds and traces.
+        """
+        if reference not in self.spec.schedulers:
+            raise KeyError(f"{reference!r} is not part of this sweep")
+        index = self._index()
+        ratios: Dict[str, Dict[int, List[float]]] = {
+            name: {capacity: [] for capacity in self.spec.capacities}
+            for name in self.spec.schedulers
+        }
+        for trace in self.spec.traces:
+            for capacity in self.spec.capacities:
+                for seed in self.spec.seeds:
+                    ref = index[(reference, capacity, seed, trace)].mean(metric)
+                    if not ref > 0:
+                        raise ValueError(
+                            f"reference mean {metric} must be positive "
+                            f"(capacity={capacity}, seed={seed})"
+                        )
+                    for name in self.spec.schedulers:
+                        value = index[(name, capacity, seed, trace)].mean(metric)
+                        ratios[name][capacity].append(value / ref)
+        return {
+            name: {
+                capacity: float(sum(values) / len(values))
+                for capacity, values in by_capacity.items()
+                if values
+            }
+            for name, by_capacity in ratios.items()
+        }
+
+    # -- legacy bridge ------------------------------------------------------------------
+
+    def to_comparisons(self) -> Dict[int, "ComparisonResult"]:
+        """Per-capacity legacy ``ComparisonResult`` objects (report/export bridge).
+
+        Only defined for single-seed single-trace sweeps — the legacy shape
+        has no room for a seed axis.  The shared trace is regenerated from
+        its configuration (cheap: no simulation is run).
+        """
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import ComparisonResult, generate_trace
+
+        if len(self.spec.seeds) != 1 or len(self.spec.traces) != 1:
+            raise ValueError(
+                "to_comparisons() requires a single-seed, single-trace sweep; "
+                f"got {len(self.spec.seeds)} seeds and {len(self.spec.traces)} traces"
+            )
+        seed = self.spec.seeds[0]
+        trace_config = self.spec.traces[0]
+        index = self._index()
+        comparisons: Dict[int, ComparisonResult] = {}
+        shared_trace = None  # same for every capacity: depends on trace+seed only
+        for capacity in self.spec.capacities:
+            config = ExperimentConfig(
+                num_gpus=capacity,
+                trace=trace_config,
+                simulation=self.spec.simulation,
+                seed=seed,
+            )
+            if shared_trace is None:
+                shared_trace = generate_trace(config)
+            comparison = ComparisonResult(config=config, trace=list(shared_trace))
+            for name in self.spec.schedulers:
+                artifact = index[(name, capacity, seed, trace_config)]
+                comparison.results[name] = artifact.to_result()
+                comparison.artifacts[name] = artifact
+            comparisons[capacity] = comparison
+        return comparisons
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "sweep_key": self.spec.sweep_key(),
+            "spec": self.spec.to_dict(),
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SweepArtifact":
+        """Rebuild a :class:`SweepArtifact` from :meth:`to_dict` output."""
+        return cls(
+            spec=ExperimentSpec.from_dict(payload["spec"]),
+            runs=[RunArtifact.from_dict(run) for run in payload["runs"]],
+        )
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepArtifact":
+        """Deserialize from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: PathLike) -> Path:
+        """Write the artifact to ``path`` as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SweepArtifact":
+        """Read an artifact previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,217 @@
+"""Pluggable execution backends for experiment grids.
+
+A backend turns a list of :class:`~repro.experiments.spec.RunSpec` cells
+into :class:`~repro.experiments.artifacts.RunArtifact`\\ s, preserving
+input order.  Two backends ship with the repo:
+
+* :class:`SerialBackend` — executes cells one after another in-process.
+* :class:`ProcessPoolBackend` — fans cells out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Because a cell is a
+  pure function of its spec (the scheduler is constructed fresh from the
+  registry, the trace is generated from the spec's own seed inside the
+  worker, and nothing is shared between cells), the pool produces
+  artifacts *bit-identical* to serial execution — only faster.  Specs and
+  artifacts cross the process boundary as plain dicts, so nothing
+  unpicklable (scheduler instances, lambdas, RNG state) ever has to.
+
+The free functions are the single execution path everything funnels
+through: the legacy ``run_single``/``run_comparison`` shims call
+:func:`simulate_trace`, and both backends call :func:`execute_run`.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.baselines.base import SchedulerBase
+from repro.cluster.topology import make_longhorn_cluster
+from repro.experiments.artifacts import RunArtifact
+from repro.experiments.registry import create_scheduler
+from repro.experiments.spec import RunSpec
+from repro.jobs.job import JobSpec
+from repro.sim.simulator import ClusterSimulator, SimulationConfig, SimulationResult
+from repro.workload.trace import TraceGenerator
+
+#: Resolver signature: ``(name, seed, **options) -> SchedulerBase``.
+SchedulerResolver = Callable[..., SchedulerBase]
+
+
+def simulate_trace(
+    scheduler: SchedulerBase,
+    trace: Sequence[JobSpec],
+    num_gpus: int,
+    simulation: Optional[SimulationConfig] = None,
+) -> SimulationResult:
+    """Replay an explicit ``trace`` under an instantiated ``scheduler``.
+
+    The lowest-level entry point: builds the Longhorn-style topology and
+    runs the discrete-event simulator.  Use :func:`simulate_run` when the
+    run is described by a declarative :class:`RunSpec` instead.
+    """
+    topology = make_longhorn_cluster(num_gpus)
+    simulator = ClusterSimulator(
+        topology=topology,
+        scheduler=scheduler,
+        trace=list(trace),
+        config=simulation,
+    )
+    return simulator.run()
+
+
+def simulate_run(
+    spec: RunSpec, resolver: Optional[SchedulerResolver] = None
+) -> SimulationResult:
+    """Execute one declarative cell and return the full in-process result.
+
+    The returned :class:`SimulationResult` still carries its live ``Job``
+    objects (unlike the serializable artifact), which examples use for
+    per-job timelines.  ``resolver`` overrides how scheduler names are
+    turned into instances; it defaults to the registry.
+    """
+    resolve = resolver or create_scheduler
+    scheduler = resolve(spec.scheduler, spec.seed, **spec.scheduler_options)
+    trace = TraceGenerator(spec.trace, seed=spec.seed).generate()
+    return simulate_trace(scheduler, trace, spec.num_gpus, spec.simulation)
+
+
+def execute_run(
+    spec: RunSpec, resolver: Optional[SchedulerResolver] = None
+) -> RunArtifact:
+    """Execute one declarative cell and package it as a serializable artifact."""
+    return RunArtifact.from_simulation(spec, simulate_run(spec, resolver))
+
+
+#: Progress callback: ``(index_into_specs, artifact)``; called as each cell
+#: completes (not necessarily in order on parallel backends).
+ResultCallback = Callable[[int, RunArtifact], None]
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy for executing a batch of cells; results keep input order."""
+
+    #: Registry name used by :func:`make_backend` and the CLI.
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def run(
+        self, specs: Sequence[RunSpec], on_result: Optional[ResultCallback] = None
+    ) -> List[RunArtifact]:
+        """Execute every cell and return one artifact per cell, in order.
+
+        ``on_result`` fires as each cell completes, so callers (the
+        Runner's cell cache) can persist progress before the whole batch
+        is done — an interrupted sweep keeps its finished cells.
+        """
+
+
+class SerialBackend(ExecutionBackend):
+    """Execute cells one after another in the current process.
+
+    Accepts an optional ``resolver`` so ad-hoc (unregistered, possibly
+    unpicklable) scheduler factories can be used — the escape hatch the
+    legacy ``run_comparison(schedulers={...})`` API is built on.
+    """
+
+    name = "serial"
+
+    def __init__(self, resolver: Optional[SchedulerResolver] = None) -> None:
+        self._resolver = resolver
+
+    def run(
+        self, specs: Sequence[RunSpec], on_result: Optional[ResultCallback] = None
+    ) -> List[RunArtifact]:
+        artifacts: List[RunArtifact] = []
+        for index, spec in enumerate(specs):
+            artifact = execute_run(spec, self._resolver)
+            if on_result is not None:
+                on_result(index, artifact)
+            artifacts.append(artifact)
+        return artifacts
+
+
+def _execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry point: spec dict in, artifact dict out.
+
+    Module-level (not a closure) so it is importable from spawned workers
+    as well as forked ones.
+    """
+    return execute_run(RunSpec.from_dict(payload)).to_dict()
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan cells out over worker processes; bit-identical to serial order.
+
+    Only registry-named schedulers are supported (specs are resolved
+    inside the workers); ad-hoc factory objects cannot cross the process
+    boundary.  ``max_workers=None`` uses one worker per CPU, capped at
+    the number of cells.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and int(max_workers) < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = None if max_workers is None else int(max_workers)
+
+    def run(
+        self, specs: Sequence[RunSpec], on_result: Optional[ResultCallback] = None
+    ) -> List[RunArtifact]:
+        specs = list(specs)
+        if not specs:
+            return []
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = max(1, min(workers, len(specs)))
+        artifacts: List[Optional[RunArtifact]] = [None] * len(specs)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_payload, spec.to_dict()): index
+                for index, spec in enumerate(specs)
+            }
+            # Surface results (and persist them via on_result) as they
+            # finish, not when the whole batch is done.
+            for future in as_completed(futures):
+                index = futures[future]
+                artifact = RunArtifact.from_dict(future.result())
+                if on_result is not None:
+                    on_result(index, artifact)
+                artifacts[index] = artifact
+        return list(artifacts)
+
+
+#: Backend-name registry used by :func:`make_backend` and the CLI flags.
+BACKENDS: Dict[str, type] = {
+    SerialBackend.name: SerialBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+
+
+def make_backend(
+    backend: Union[str, ExecutionBackend] = "serial",
+    workers: Optional[int] = None,
+    resolver: Optional[SchedulerResolver] = None,
+) -> ExecutionBackend:
+    """Build an execution backend from a name (or pass an instance through).
+
+    ``workers`` selects the pool size for the process backend; asking for
+    more than one worker with ``backend="serial"`` is an error (pick the
+    process backend instead), as is a resolver with the process backend
+    (resolvers cannot be shipped to workers).
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    name = str(backend).lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {', '.join(sorted(BACKENDS))}"
+        )
+    if name == SerialBackend.name:
+        if workers is not None and int(workers) > 1:
+            raise ValueError("the serial backend is single-worker; use backend='process'")
+        return SerialBackend(resolver=resolver)
+    if resolver is not None:
+        raise ValueError("the process backend resolves schedulers via the registry only")
+    return ProcessPoolBackend(max_workers=workers)

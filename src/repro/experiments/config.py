@@ -1,4 +1,4 @@
-"""Experiment configuration objects.
+"""Experiment configuration objects (legacy, factory-based).
 
 The main evaluation of the paper (Fig. 15, Table 4) runs a 50-job
 Table-2 trace on a 64-GPU Longhorn cluster against four schedulers; the
@@ -6,22 +6,30 @@ scalability study (Fig. 17/18) repeats it at 16/32/48/64 GPUs.  The
 defaults below mirror that setup but every knob (trace size, arrival
 rate, cluster size, schedulers, seeds) is configurable so the test suite
 can run scaled-down versions quickly.
+
+:class:`ExperimentConfig` predates the declarative Spec/Runner/Artifact
+API and is kept for the legacy ``run_comparison``/``run_scalability_sweep``
+shims and their callers.  Scheduler construction is delegated to the
+:mod:`repro.experiments.registry`, which is the single source of truth
+for name -> factory mappings; :meth:`ExperimentConfig.to_spec` converts
+a config into an :class:`~repro.experiments.spec.ExperimentSpec` for the
+new Runner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
 
 from repro.baselines.base import SchedulerBase
-from repro.baselines.drl import DRLScheduler
-from repro.baselines.optimus import OptimusScheduler
-from repro.baselines.tiresias import TiresiasScheduler
 from repro.core.evolution import EvolutionConfig
-from repro.core.ones_scheduler import ONESConfig, ONESScheduler
+from repro.experiments.registry import create_scheduler, paper_schedulers
 from repro.sim.simulator import SimulationConfig
-from repro.utils.validation import check_positive, check_positive_int
+from repro.utils.validation import check_positive_int
 from repro.workload.trace import TraceConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import only needed for type checkers
+    from repro.experiments.spec import ExperimentSpec
 
 #: Factory signature: ``(seed) -> SchedulerBase``.
 SchedulerFactory = Callable[[int], SchedulerBase]
@@ -30,19 +38,20 @@ SchedulerFactory = Callable[[int], SchedulerBase]
 def default_schedulers(
     evolution: Optional[EvolutionConfig] = None,
 ) -> Dict[str, SchedulerFactory]:
-    """The four schedulers of the paper's evaluation, as factories.
+    """The four schedulers of the paper's evaluation, as seed-only factories.
 
     Factories (rather than instances) are used because every scheduler
-    must be constructed fresh per run — schedulers are stateful.
+    must be constructed fresh per run — schedulers are stateful.  Each
+    factory delegates to the scheduler registry; ``evolution`` optionally
+    overrides the ONES evolution hyper-parameters.
     """
-    evolution = evolution or EvolutionConfig()
 
-    return {
-        "ONES": lambda seed: ONESScheduler(ONESConfig(evolution=evolution), seed=seed),
-        "DRL": lambda seed: DRLScheduler(seed=seed, greedy=True),
-        "Tiresias": lambda seed: TiresiasScheduler(),
-        "Optimus": lambda seed: OptimusScheduler(),
-    }
+    def factory_for(name: str) -> SchedulerFactory:
+        if name == "ONES" and evolution is not None:
+            return lambda seed: create_scheduler("ONES", seed, evolution=evolution)
+        return lambda seed: create_scheduler(name, seed)
+
+    return {name: factory_for(name) for name in paper_schedulers()}
 
 
 @dataclass
@@ -64,6 +73,30 @@ class ExperimentConfig:
         if self.schedulers is not None:
             return self.schedulers
         return default_schedulers()
+
+    def to_spec(self, schedulers: Optional[Sequence[str]] = None) -> "ExperimentSpec":
+        """This configuration as a declarative single-capacity grid.
+
+        ``schedulers`` selects registry names (default: the paper's four).
+        Configs carrying ad-hoc factory objects in ``self.schedulers``
+        cannot be made declarative — register the scheduler instead.
+        """
+        from repro.experiments.spec import ExperimentSpec
+
+        if schedulers is None:
+            if self.schedulers is not None:
+                raise ValueError(
+                    "config carries ad-hoc scheduler factories; pass registry "
+                    "names explicitly via schedulers=..."
+                )
+            schedulers = paper_schedulers()
+        return ExperimentSpec(
+            schedulers=tuple(schedulers),
+            capacities=(self.num_gpus,),
+            seeds=(self.seed,),
+            traces=(self.trace,),
+            simulation=self.simulation,
+        )
 
     @classmethod
     def small(cls, num_gpus: int = 16, num_jobs: int = 10, seed: int = 7) -> "ExperimentConfig":

@@ -4,6 +4,13 @@ Each function returns plain data structures (dicts / numpy arrays) so
 they can be consumed both by the benchmark harness (which prints them)
 and by tests (which assert their *shape* — who wins, which curve is
 monotone, where the crossover falls).
+
+These are the *analytic* figures (throughput scaling, convergence,
+overheads) that need no cluster simulation.  The simulation-driven
+figures (15, 17, 18 and Table 4) are produced by running an
+:class:`~repro.experiments.spec.ExperimentSpec` grid through the
+:class:`~repro.experiments.orchestrator.Runner` and aggregating the
+resulting :class:`~repro.experiments.artifacts.SweepArtifact`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,160 @@
+"""The experiment Runner: expand a grid, execute it, cache the cells.
+
+:class:`Runner` is the orchestration layer on top of the declarative
+specs and the execution backends::
+
+    spec = ExperimentSpec.scalability(capacities=(16, 32, 48, 64))
+    runner = Runner(backend="process", workers=4, cache_dir="results/cells")
+    sweep = runner.run(spec, resume=True)
+
+* **Backends** — ``backend="serial"`` or ``"process"`` (see
+  :mod:`repro.experiments.backends`); an :class:`ExecutionBackend`
+  instance is also accepted.
+* **Caching** — with a ``cache_dir``, every executed cell is written to
+  ``cell-<content-key>.json``.  The key hashes the *entire* cell spec, so
+  any change to the grid produces different keys and can never collide
+  with stale results.
+* **Resume** — ``resume=True`` loads cached cells instead of re-running
+  them; only the missing cells are dispatched to the backend.  A cached
+  file whose embedded spec does not match the cell (corruption, hash
+  collision, hand editing) is ignored and the cell re-runs.
+
+After :meth:`Runner.run`, :attr:`Runner.stats` says how many cells were
+executed vs served from cache and how long the sweep took.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.experiments.artifacts import RunArtifact, SweepArtifact
+from repro.experiments.backends import (
+    ExecutionBackend,
+    SchedulerResolver,
+    make_backend,
+)
+from repro.experiments.spec import ExperimentSpec, RunSpec
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class RunnerStats:
+    """Bookkeeping of one :meth:`Runner.run` invocation."""
+
+    total_cells: int = 0
+    executed_cells: int = 0
+    cached_cells: int = 0
+    wall_time: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for logs and reports."""
+        return {
+            "total_cells": self.total_cells,
+            "executed_cells": self.executed_cells,
+            "cached_cells": self.cached_cells,
+            "wall_time": self.wall_time,
+        }
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.total_cells} cells: {self.executed_cells} executed, "
+            f"{self.cached_cells} from cache in {self.wall_time:.1f}s"
+        )
+
+
+class Runner:
+    """Executes declarative experiment grids through a pluggable backend."""
+
+    def __init__(
+        self,
+        backend: Union[str, ExecutionBackend] = "serial",
+        workers: Optional[int] = None,
+        cache_dir: Optional[PathLike] = None,
+        resolver: Optional[SchedulerResolver] = None,
+    ) -> None:
+        self.backend = make_backend(backend, workers=workers, resolver=resolver)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.stats = RunnerStats()
+
+    # -- public API ---------------------------------------------------------------------
+
+    def run(self, spec: ExperimentSpec, resume: bool = False) -> SweepArtifact:
+        """Execute (or resume) the grid; returns one artifact per cell, in order."""
+        start = time.perf_counter()
+        cells = spec.expand()
+        artifacts: List[Optional[RunArtifact]] = [None] * len(cells)
+        pending: List[int] = []
+        for index, cell in enumerate(cells):
+            cached = self._load_cached(cell) if resume else None
+            if cached is not None:
+                artifacts[index] = cached
+            else:
+                pending.append(index)
+        # Cells are cached the moment they complete (not after the whole
+        # batch), so an interrupted sweep keeps its finished cells and a
+        # --resume only pays for what is actually missing.
+        fresh = self.backend.run(
+            [cells[index] for index in pending],
+            on_result=lambda _, artifact: self._store(artifact),
+        )
+        for index, artifact in zip(pending, fresh):
+            artifacts[index] = artifact
+        self.stats = RunnerStats(
+            total_cells=len(cells),
+            executed_cells=len(pending),
+            cached_cells=len(cells) - len(pending),
+            wall_time=time.perf_counter() - start,
+        )
+        return SweepArtifact(spec=spec, runs=list(artifacts))
+
+    def run_cells(self, cells: Sequence[RunSpec]) -> List[RunArtifact]:
+        """Execute an explicit list of cells (no grid, no cache), in order."""
+        return self.backend.run(list(cells))
+
+    # -- cell cache ---------------------------------------------------------------------
+
+    def cell_path(self, cell: RunSpec) -> Optional[Path]:
+        """Where ``cell``'s artifact is cached (``None`` without a cache_dir)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"cell-{cell.cell_key()}.json"
+
+    def _load_cached(self, cell: RunSpec) -> Optional[RunArtifact]:
+        path = self.cell_path(cell)
+        if path is None or not path.exists():
+            return None
+        try:
+            artifact = RunArtifact.from_json(path.read_text())
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+            return None
+        # Content keys make collisions astronomically unlikely, but a
+        # hand-edited or truncated file must never masquerade as a result.
+        if artifact.spec.to_dict() != cell.to_dict():
+            return None
+        return artifact
+
+    def _store(self, artifact: RunArtifact) -> None:
+        path = self.cell_path(artifact.spec)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(artifact.to_json() + "\n")
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    backend: Union[str, ExecutionBackend] = "serial",
+    workers: Optional[int] = None,
+    cache_dir: Optional[PathLike] = None,
+    resume: bool = False,
+) -> SweepArtifact:
+    """One-shot convenience wrapper around :class:`Runner`."""
+    return Runner(backend=backend, workers=workers, cache_dir=cache_dir).run(
+        spec, resume=resume
+    )

@@ -1,9 +1,15 @@
-"""Markdown report generation for comparison experiments.
+"""Markdown report generation for comparison and sweep experiments.
 
 ``build_comparison_report`` turns a :class:`ComparisonResult` into a
 self-contained Markdown document (headline averages, distributions,
 improvements, Wilcoxon tests, per-scheduler telemetry), which the CLI can
-write next to the exported CSV/JSON artefacts.
+write next to the exported CSV/JSON artefacts.  When the comparison came
+out of the declarative Runner, the pre-computed per-run telemetry stored
+in its :class:`~repro.experiments.artifacts.RunArtifact`\\ s is used —
+job-less results reconstructed from artifacts carry no ``Job`` objects
+to summarize from.  ``build_sweep_report`` renders a whole
+:class:`~repro.experiments.artifacts.SweepArtifact` grid (the Fig. 17/18
+tables) the same way.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.metrics import compare_results, completion_fraction_within
 from repro.analysis.stats import significance_table
+from repro.experiments.artifacts import SweepArtifact
 from repro.experiments.runner import ComparisonResult
 from repro.sim.telemetry import summarize_run
 
@@ -116,14 +123,18 @@ def build_comparison_report(
         lines.append(_markdown_table(rows))
         lines.append("")
 
-    # Telemetry.
+    # Telemetry: prefer the summaries captured at simulation time
+    # (artifact-backed comparisons have no live Job objects left).
     lines.append("## Cluster telemetry")
     lines.append("")
-    lines.append(
-        _markdown_table(
-            [summarize_run(result).as_dict() for result in comparison.results.values()]
-        )
-    )
+    telemetry_rows = []
+    for name, result in comparison.results.items():
+        artifact = comparison.artifacts.get(name)
+        if artifact is not None and artifact.telemetry:
+            telemetry_rows.append(dict(artifact.telemetry))
+        else:
+            telemetry_rows.append(summarize_run(result).as_dict())
+    lines.append(_markdown_table(telemetry_rows))
     lines.append("")
     lines.append(
         "_Fraction-of-jobs and utilisation figures are computed from the same "
@@ -141,4 +152,71 @@ def write_comparison_report(
     """Build the report and write it to ``path``; returns the path."""
     path = Path(path)
     path.write_text(build_comparison_report(comparison, reference=reference, title=title) + "\n")
+    return path
+
+
+def build_sweep_report(
+    sweep: "SweepArtifact",
+    reference: str = "ONES",
+    title: str = "Scalability sweep report",
+) -> str:
+    """Markdown report of a declarative sweep (Fig. 17/18 style tables)."""
+    spec = sweep.spec
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(f"- Schedulers: {', '.join(spec.schedulers)}")
+    lines.append(f"- Capacities: {', '.join(str(c) for c in spec.capacities)} GPUs")
+    lines.append(f"- Seeds: {', '.join(str(s) for s in spec.seeds)}")
+    lines.append(
+        f"- Traces: {', '.join(str(t.num_jobs) + ' jobs' for t in spec.traces)}"
+    )
+    lines.append("")
+
+    for metric, heading in (
+        ("jct", "Average JCT (s) vs cluster capacity (Fig. 17)"),
+        ("queuing_time", "Average queuing time (s) vs cluster capacity"),
+    ):
+        table = sweep.mean_metric_table(metric)
+        lines.append(f"## {heading}")
+        lines.append("")
+        lines.append(
+            _markdown_table(
+                [
+                    {"scheduler": name, **{f"{c} GPUs": by_cap.get(c, float("nan"))
+                                           for c in spec.capacities}}
+                    for name, by_cap in table.items()
+                ]
+            )
+        )
+        lines.append("")
+
+    if reference in spec.schedulers:
+        relative = sweep.relative_to(reference, "jct")
+        lines.append(f"## Relative JCT, {reference} = 1.0 (Fig. 18)")
+        lines.append("")
+        lines.append(
+            _markdown_table(
+                [
+                    {"scheduler": name, **{f"{c} GPUs": by_cap.get(c, float("nan"))
+                                           for c in spec.capacities}}
+                    for name, by_cap in relative.items()
+                ]
+            )
+        )
+        lines.append("")
+    lines.append(
+        "_Values are means over the grid's seeds and traces; per-cell results "
+        "live in the sweep artifact JSON._"
+    )
+    return "\n".join(lines)
+
+
+def write_sweep_report(
+    sweep: "SweepArtifact",
+    path: PathLike,
+    reference: str = "ONES",
+    title: str = "Scalability sweep report",
+) -> Path:
+    """Build the sweep report and write it to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(build_sweep_report(sweep, reference=reference, title=title) + "\n")
     return path

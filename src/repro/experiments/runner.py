@@ -1,23 +1,33 @@
-"""Experiment runners.
+"""Legacy experiment entry points (thin shims over the declarative API).
 
-``run_single`` replays one trace under one scheduler; ``run_comparison``
-replays the *same* trace under several schedulers (the Fig. 15 / Table 4
-setup); ``run_scalability_sweep`` repeats the comparison across cluster
-capacities (Fig. 17/18).
+The orchestration layer now lives in :mod:`repro.experiments.spec`
+(declarative grids), :mod:`repro.experiments.backends` (serial /
+process-pool execution) and :mod:`repro.experiments.orchestrator` (the
+:class:`~repro.experiments.orchestrator.Runner` with caching and
+resume).  The functions here keep the original positional API alive —
+``run_single`` replays one trace under one scheduler, ``run_comparison``
+the Fig. 15 / Table 4 setup, ``run_scalability_sweep`` the Fig. 17/18
+sweep — by delegating to the shared execution path
+(:func:`repro.experiments.backends.simulate_trace`).  New code should
+build an :class:`~repro.experiments.spec.ExperimentSpec` and hand it to
+a :class:`~repro.experiments.orchestrator.Runner` instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
-from repro.analysis.metrics import improvement_over, relative_jct
+from repro.analysis.metrics import mean_metric, relative_jct
 from repro.baselines.base import SchedulerBase
-from repro.cluster.topology import make_longhorn_cluster
+from repro.experiments.backends import simulate_trace
 from repro.experiments.config import ExperimentConfig, SchedulerFactory
 from repro.jobs.job import JobSpec
-from repro.sim.simulator import ClusterSimulator, SimulationResult
+from repro.sim.simulator import SimulationResult
 from repro.workload.trace import TraceGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - import only needed for type checkers
+    from repro.experiments.artifacts import RunArtifact
 
 
 def run_single(
@@ -26,30 +36,28 @@ def run_single(
     config: ExperimentConfig,
 ) -> SimulationResult:
     """Replay ``trace`` under ``scheduler`` on a cluster of ``config.num_gpus``."""
-    topology = make_longhorn_cluster(config.num_gpus)
-    simulator = ClusterSimulator(
-        topology=topology,
-        scheduler=scheduler,
-        trace=list(trace),
-        config=config.simulation,
-    )
-    return simulator.run()
+    return simulate_trace(scheduler, trace, config.num_gpus, config.simulation)
 
 
 @dataclass
 class ComparisonResult:
-    """Results of running the same trace under several schedulers."""
+    """Results of running the same trace under several schedulers.
+
+    ``artifacts`` is populated when the comparison came out of the
+    declarative Runner (one serializable
+    :class:`~repro.experiments.artifacts.RunArtifact` per scheduler);
+    reports prefer its pre-computed telemetry when present.
+    """
 
     config: ExperimentConfig
     trace: List[JobSpec]
     results: Dict[str, SimulationResult] = field(default_factory=dict)
+    artifacts: Dict[str, "RunArtifact"] = field(default_factory=dict)
 
     def averages(self, metric: str = "jct") -> Dict[str, float]:
         """Average of ``metric`` per scheduler."""
-        from repro.analysis.metrics import metric_values
-
         return {
-            name: float(metric_values(result, metric).mean())
+            name: mean_metric(result, metric)
             for name, result in self.results.items()
         }
 
@@ -57,12 +65,16 @@ class ComparisonResult:
         """Relative improvement of ``reference`` over every other scheduler."""
         if reference not in self.results:
             raise KeyError(f"{reference!r} is not part of this comparison")
-        ref = self.results[reference]
-        return {
-            name: improvement_over(ref, result, metric)
-            for name, result in self.results.items()
-            if name != reference
-        }
+        averages = self.averages(metric)
+        reference_average = averages[reference]
+        improvements: Dict[str, float] = {}
+        for name, average in averages.items():
+            if name == reference:
+                continue
+            if average <= 0:
+                raise ValueError("baseline average must be positive")
+            improvements[name] = 1.0 - reference_average / average
+        return improvements
 
     def relative_jct(self, reference: str = "ONES") -> Dict[str, float]:
         """Per-scheduler average JCT normalised to ``reference`` (Fig. 18)."""
@@ -99,12 +111,9 @@ def run_scalability_sweep(
     base_config = base_config or ExperimentConfig()
     sweep: Dict[int, ComparisonResult] = {}
     for capacity in capacities:
-        config = ExperimentConfig(
-            num_gpus=int(capacity),
-            trace=base_config.trace,
-            simulation=base_config.simulation,
-            seed=base_config.seed,
-            schedulers=base_config.schedulers,
-        )
+        # dataclasses.replace keeps every other field — including ones
+        # added to ExperimentConfig later — instead of copying a
+        # hand-picked subset.
+        config = replace(base_config, num_gpus=int(capacity))
         sweep[int(capacity)] = run_comparison(config, schedulers=schedulers)
     return sweep

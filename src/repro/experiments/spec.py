@@ -1,0 +1,264 @@
+"""Declarative experiment specifications.
+
+A :class:`RunSpec` fully determines ONE simulation cell — which
+scheduler (by registry name), on how many GPUs, with which trace and
+simulation configuration, and under which seed.  Because the spec is
+plain data (JSON-serializable, content-hashable via :meth:`RunSpec.cell_key`),
+a cell can be shipped to a worker process, cached on disk, and re-run
+bit-identically: the simulation is a pure function of its spec.
+
+An :class:`ExperimentSpec` describes a *grid* — schedulers x capacities
+x seeds x trace configs — and :meth:`ExperimentSpec.expand`\\ s it into
+the individual cells in a deterministic order.  The paper's evaluations
+are instances of this grid:
+
+* Fig. 15 / Table 4: four schedulers x one capacity x one trace,
+* Fig. 17/18: four schedulers x {16, 32, 48, 64} GPUs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.simulator import SimulationConfig
+from repro.utils.validation import check_positive_int
+from repro.workload.trace import TraceConfig
+
+#: Bumped whenever the serialized layout of specs/artifacts changes.
+SCHEMA_VERSION = 1
+
+
+def _canonical_json(payload: object) -> str:
+    """Canonical JSON used for content keys (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to execute one simulation cell.
+
+    ``scheduler`` is a registry name (see :mod:`repro.experiments.registry`);
+    ``scheduler_options`` are JSON-friendly keyword options forwarded to
+    the registered factory (e.g. ``{"population_size": 4}`` for ONES).
+    The trace is *generated* from ``trace`` + ``seed`` inside the worker
+    executing the cell, so the spec stays tiny and self-contained.
+    """
+
+    scheduler: str
+    num_gpus: int = 64
+    seed: int = 2021
+    trace: TraceConfig = field(default_factory=TraceConfig)
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    scheduler_options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.scheduler or not str(self.scheduler).strip():
+            raise ValueError("scheduler must be a non-empty registry name")
+        check_positive_int(self.num_gpus, "num_gpus")
+        check_positive_int(self.seed, "seed")
+        object.__setattr__(self, "scheduler_options", dict(self.scheduler_options))
+
+    def label(self) -> str:
+        """Compact human-readable cell label used in logs and progress lines."""
+        return f"{self.scheduler}@{self.num_gpus}g/seed{self.seed}"
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "scheduler": str(self.scheduler),
+            "num_gpus": int(self.num_gpus),
+            "seed": int(self.seed),
+            "trace": self.trace.to_dict(),
+            "simulation": self.simulation.to_dict(),
+            "scheduler_options": dict(self.scheduler_options),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RunSpec":
+        """Rebuild a :class:`RunSpec` from :meth:`to_dict` output."""
+        return cls(
+            scheduler=str(payload["scheduler"]),
+            num_gpus=int(payload["num_gpus"]),
+            seed=int(payload["seed"]),
+            trace=TraceConfig.from_dict(payload["trace"]),
+            simulation=SimulationConfig.from_dict(payload["simulation"]),
+            scheduler_options=dict(payload.get("scheduler_options", {})),
+        )
+
+    def cell_key(self) -> str:
+        """Content hash of the cell; the cache key for resume-able sweeps.
+
+        Any change to the spec (scheduler, options, capacity, seed, trace
+        or simulation parameters) changes the key, so cached artifacts can
+        never be served for a different experiment.
+        """
+        digest = hashlib.sha256(_canonical_json(self.to_dict()).encode()).hexdigest()
+        return digest[:16]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative grid of runs: schedulers x capacities x seeds x traces.
+
+    ``scheduler_options`` maps a scheduler name to the options every cell
+    of that scheduler receives (e.g. scale ONES's population down for a
+    smoke grid).  :meth:`expand` produces the cells in a fixed order —
+    traces (outer), capacities, seeds, schedulers (inner) — which is also
+    the execution/submission order of every backend, so results line up
+    deterministically regardless of how the grid is executed.
+    """
+
+    schedulers: Tuple[str, ...]
+    capacities: Tuple[int, ...] = (64,)
+    seeds: Tuple[int, ...] = (2021,)
+    traces: Tuple[TraceConfig, ...] = field(default_factory=lambda: (TraceConfig(),))
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    scheduler_options: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schedulers", tuple(str(s) for s in self.schedulers))
+        object.__setattr__(self, "capacities", tuple(int(c) for c in self.capacities))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        traces = tuple(self.traces)
+        object.__setattr__(self, "traces", traces)
+        object.__setattr__(
+            self,
+            "scheduler_options",
+            {str(name): dict(options) for name, options in self.scheduler_options.items()},
+        )
+        for label, values in (
+            ("schedulers", self.schedulers),
+            ("capacities", self.capacities),
+            ("seeds", self.seeds),
+            ("traces", traces),
+        ):
+            if not values:
+                raise ValueError(f"{label} must not be empty")
+            if len(set(values)) != len(values):
+                raise ValueError(f"{label} contains duplicates")
+        unknown = set(self.scheduler_options) - set(self.schedulers)
+        if unknown:
+            raise ValueError(
+                f"scheduler_options for schedulers not in the grid: {sorted(unknown)}"
+            )
+
+    # -- grid expansion -----------------------------------------------------------------
+
+    def expand(self) -> List[RunSpec]:
+        """The individual cells of the grid, in deterministic order."""
+        cells: List[RunSpec] = []
+        for trace in self.traces:
+            for capacity in self.capacities:
+                for seed in self.seeds:
+                    for scheduler in self.schedulers:
+                        cells.append(
+                            RunSpec(
+                                scheduler=scheduler,
+                                num_gpus=capacity,
+                                seed=seed,
+                                trace=trace,
+                                simulation=self.simulation,
+                                scheduler_options=self.scheduler_options.get(scheduler, {}),
+                            )
+                        )
+        return cells
+
+    @property
+    def num_cells(self) -> int:
+        """Size of the grid (``len(self.expand())`` without materialising it)."""
+        return len(self.schedulers) * len(self.capacities) * len(self.seeds) * len(self.traces)
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "schedulers": list(self.schedulers),
+            "capacities": list(self.capacities),
+            "seeds": list(self.seeds),
+            "traces": [trace.to_dict() for trace in self.traces],
+            "simulation": self.simulation.to_dict(),
+            "scheduler_options": {
+                name: dict(options) for name, options in self.scheduler_options.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentSpec":
+        """Rebuild an :class:`ExperimentSpec` from :meth:`to_dict` output."""
+        return cls(
+            schedulers=tuple(payload["schedulers"]),
+            capacities=tuple(payload["capacities"]),
+            seeds=tuple(payload["seeds"]),
+            traces=tuple(TraceConfig.from_dict(t) for t in payload["traces"]),
+            simulation=SimulationConfig.from_dict(payload["simulation"]),
+            scheduler_options=payload.get("scheduler_options", {}),
+        )
+
+    def sweep_key(self) -> str:
+        """Content hash of the whole grid (names the sweep artifact on disk)."""
+        digest = hashlib.sha256(_canonical_json(self.to_dict()).encode()).hexdigest()
+        return digest[:16]
+
+    # -- convenience constructors -------------------------------------------------------
+
+    @classmethod
+    def comparison(
+        cls,
+        schedulers: Optional[Sequence[str]] = None,
+        num_gpus: int = 64,
+        seed: int = 2021,
+        trace: TraceConfig | None = None,
+        simulation: SimulationConfig | None = None,
+        scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
+    ) -> "ExperimentSpec":
+        """The paper's main comparison (Fig. 15 / Table 4) as a one-capacity grid.
+
+        ``schedulers`` defaults to the registry's paper set (the Fig. 15
+        four), so the registry stays the single source of truth.
+        """
+        return cls(
+            schedulers=_default_schedulers(schedulers),
+            capacities=(num_gpus,),
+            seeds=(seed,),
+            traces=(trace or TraceConfig(),),
+            simulation=simulation or SimulationConfig(),
+            scheduler_options=scheduler_options or {},
+        )
+
+    @classmethod
+    def scalability(
+        cls,
+        schedulers: Optional[Sequence[str]] = None,
+        capacities: Sequence[int] = (16, 32, 48, 64),
+        seeds: Sequence[int] = (2021,),
+        trace: TraceConfig | None = None,
+        simulation: SimulationConfig | None = None,
+        scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
+    ) -> "ExperimentSpec":
+        """The Fig. 17/18 scalability sweep over cluster capacities."""
+        return cls(
+            schedulers=_default_schedulers(schedulers),
+            capacities=tuple(capacities),
+            seeds=tuple(seeds),
+            traces=(trace or TraceConfig(),),
+            simulation=simulation or SimulationConfig(),
+            scheduler_options=scheduler_options or {},
+        )
+
+
+def _default_schedulers(schedulers: Optional[Sequence[str]]) -> tuple:
+    """``schedulers`` as a tuple, defaulting to the registry's paper set."""
+    if schedulers is not None:
+        return tuple(schedulers)
+    # Imported lazily: the spec layer is pure data and must not pull the
+    # scheduler implementations in at module-import time.
+    from repro.experiments.registry import paper_schedulers
+
+    return paper_schedulers()

@@ -74,6 +74,29 @@ class SimulationConfig:
         if self.max_events < 1000:
             raise ValueError("max_events must be >= 1000")
 
+    # -- serialization (used by declarative experiment specs) ---------------------------
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "max_time": float(self.max_time),
+            "start_overhead": float(self.start_overhead),
+            "allreduce_efficiency": float(self.allreduce_efficiency),
+            "min_progress_rate": float(self.min_progress_rate),
+            "max_events": int(self.max_events),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "SimulationConfig":
+        """Rebuild a :class:`SimulationConfig` from :meth:`to_dict` output."""
+        return cls(
+            max_time=float(payload["max_time"]),
+            start_overhead=float(payload["start_overhead"]),
+            allreduce_efficiency=float(payload["allreduce_efficiency"]),
+            min_progress_rate=float(payload["min_progress_rate"]),
+            max_events=int(payload["max_events"]),
+        )
+
 
 @dataclass
 class SimulationResult:
@@ -133,6 +156,51 @@ class SimulationResult:
         if self.gpu_time_total <= 0:
             return 0.0
         return self.gpu_time_busy / self.gpu_time_total
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation of the result.
+
+        The live :class:`~repro.jobs.job.Job` objects are *not* included:
+        they exist for in-process telemetry/debugging and are neither
+        needed by the metric views above nor cheap to serialize.  The
+        returned payload round-trips exactly through :meth:`from_dict`
+        (floats survive JSON bit-for-bit), which is what lets experiment
+        artifacts cross process boundaries and live on disk.
+        """
+        return {
+            "scheduler_name": str(self.scheduler_name),
+            "num_gpus": int(self.num_gpus),
+            "completed": {
+                job_id: {key: float(value) for key, value in metrics.items()}
+                for job_id, metrics in self.completed.items()
+            },
+            "incomplete": [str(job_id) for job_id in self.incomplete],
+            "makespan": float(self.makespan),
+            "gpu_time_busy": float(self.gpu_time_busy),
+            "gpu_time_total": float(self.gpu_time_total),
+            "num_reconfigurations": int(self.num_reconfigurations),
+            "events_processed": int(self.events_processed),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimulationResult":
+        """Rebuild a (job-less) :class:`SimulationResult` from :meth:`to_dict` output."""
+        return cls(
+            scheduler_name=str(payload["scheduler_name"]),
+            num_gpus=int(payload["num_gpus"]),
+            completed={
+                job_id: {key: float(value) for key, value in metrics.items()}
+                for job_id, metrics in payload["completed"].items()
+            },
+            incomplete=[str(job_id) for job_id in payload["incomplete"]],
+            makespan=float(payload["makespan"]),
+            gpu_time_busy=float(payload["gpu_time_busy"]),
+            gpu_time_total=float(payload["gpu_time_total"]),
+            num_reconfigurations=int(payload["num_reconfigurations"]),
+            events_processed=int(payload["events_processed"]),
+        )
 
     def summary(self) -> Dict[str, float]:
         """Headline numbers used by reports."""

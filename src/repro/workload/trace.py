@@ -67,6 +67,31 @@ class TraceConfig:
         weights = np.asarray(self.gpu_request_weights, dtype=float)
         return weights / weights.sum()
 
+    # -- serialization (used by declarative experiment specs) ---------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "num_jobs": int(self.num_jobs),
+            "arrival_rate": float(self.arrival_rate),
+            "gpu_request_choices": [int(c) for c in self.gpu_request_choices],
+            "gpu_request_weights": [float(w) for w in self.gpu_request_weights],
+            "convergence_jitter": bool(self.convergence_jitter),
+            "convergence_patience": int(self.convergence_patience),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceConfig":
+        """Rebuild a :class:`TraceConfig` from :meth:`to_dict` output."""
+        return cls(
+            num_jobs=int(payload["num_jobs"]),
+            arrival_rate=float(payload["arrival_rate"]),
+            gpu_request_choices=tuple(int(c) for c in payload["gpu_request_choices"]),
+            gpu_request_weights=tuple(float(w) for w in payload["gpu_request_weights"]),
+            convergence_jitter=bool(payload["convergence_jitter"]),
+            convergence_patience=int(payload["convergence_patience"]),
+        )
+
 
 class TraceGenerator:
     """Generates reproducible job traces from the Table-2 catalogue."""

@@ -55,6 +55,115 @@ class TestRunCommand:
         assert "completed_jobs" in capsys.readouterr().out
 
 
+class TestCompareCommand:
+    def test_compare_serial_with_exports(self, tmp_path, capsys):
+        json_path = tmp_path / "compare.json"
+        code = main([
+            "compare", "--schedulers", "fifo", "srtf", "--gpus", "8", "--jobs", "3",
+            "--arrival-interval", "10", "--seed", "4", "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Average JCT" in out
+        assert "2 executed" in out
+        payload = json.loads(json_path.read_text())
+        assert set(payload["averages"]["jct"]) == {"FIFO", "SRTF"}
+
+    def test_compare_parallel_resume_uses_cache(self, tmp_path, capsys):
+        args = [
+            "compare", "--schedulers", "fifo", "tiresias", "--gpus", "8", "--jobs", "3",
+            "--arrival-interval", "10", "--seed", "4", "--workers", "2",
+            "--output-dir", str(tmp_path / "out"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "2 executed, 0 from cache" in first
+        assert "process backend" in first
+        assert (tmp_path / "out" / "sweep_report.md").exists()
+        assert len(list((tmp_path / "out" / "cells").glob("cell-*.json"))) == 2
+        # Resuming executes nothing but prints the same results.
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 2 from cache" in second
+        assert first.splitlines()[1:] == second.splitlines()[1:]
+
+
+class TestSweepCommand:
+    def test_duplicate_cli_values_tolerated(self, capsys):
+        code = main([
+            "sweep", "--capacities", "8", "8", "--schedulers", "fifo", "fifo",
+            "--jobs", "3", "--arrival-interval", "10", "--seeds", "4", "4",
+        ])
+        assert code == 0
+        assert "1 cells: 1 executed" in capsys.readouterr().out
+
+    def test_resume_requires_output_dir(self):
+        with pytest.raises(SystemExit, match="output-dir"):
+            main(["sweep", "--capacities", "8", "--jobs", "3", "--resume"])
+
+    def test_capacities_chart_in_sorted_order(self, capsys):
+        code = main([
+            "sweep", "--capacities", "16", "8", "--schedulers", "fifo",
+            "--jobs", "3", "--arrival-interval", "10", "--seeds", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith(("8 ", "16 "))]
+        assert lines[0].startswith("8")
+        assert lines[1].startswith("16")
+
+    def test_sweep_over_capacities(self, tmp_path, capsys):
+        json_path = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "--capacities", "8", "12", "--schedulers", "fifo", "srtf",
+            "--jobs", "3", "--arrival-interval", "10", "--seeds", "4",
+            "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 17" in out
+        assert "4 cells: 4 executed" in out
+        payload = json.loads(json_path.read_text())
+        assert set(payload) == {"8", "12"}
+
+
+class TestSchedulersCommand:
+    def test_cli_sees_schedulers_registered_after_import(self, capsys):
+        """SCHEDULERS is a live registry view, not an import-time snapshot."""
+        from repro.baselines.base import SchedulerCapabilities
+        from repro.baselines.fifo import FIFOScheduler
+        from repro.experiments.registry import register_scheduler, unregister_scheduler
+
+        caps = SchedulerCapabilities(
+            strategy="greedy", allows_preemption=False,
+            elastic_job_size=False, elastic_batch_size=False,
+        )
+        register_scheduler("LatePolicy", capabilities=caps)(lambda seed: FIFOScheduler())
+        try:
+            assert "latepolicy" in SCHEDULERS
+            code = main([
+                "run", "--scheduler", "latepolicy", "--gpus", "8", "--jobs", "3",
+                "--arrival-interval", "10", "--seed", "4",
+            ])
+            assert code == 0
+            assert "completed_jobs" in capsys.readouterr().out
+        finally:
+            unregister_scheduler("LatePolicy")
+        assert "latepolicy" not in SCHEDULERS
+
+    def test_lists_registry(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ONES", "DRL", "Tiresias", "Optimus", "Gandiva", "FIFO", "SRTF"):
+            assert name in out
+
+    def test_paper_only(self, capsys):
+        assert main(["schedulers", "--paper-only"]) == 0
+        out = capsys.readouterr().out
+        assert "ONES" in out
+        assert "Gandiva" not in out
+
+
 class TestFiguresCommand:
     def test_fig16_report(self, capsys):
         code = main(["figures", "--which", "fig16"])

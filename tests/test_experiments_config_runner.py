@@ -97,3 +97,35 @@ class TestRunner:
         assert set(sweep) == {8, 16}
         for capacity, comparison in sweep.items():
             assert comparison.config.num_gpus == capacity
+
+    def test_scalability_sweep_preserves_every_config_field(self, small_config):
+        """Sweeping capacity must carry ALL other config fields along.
+
+        The sweep derives per-capacity configs with ``dataclasses.replace``
+        so fields added to ExperimentConfig later are never silently
+        dropped (the old code copied five fields by hand).
+        """
+        small_config.schedulers = _fast_schedulers()
+        sweep = run_scalability_sweep(capacities=(8,), base_config=small_config)
+        config = sweep[8].config
+        assert config.trace == small_config.trace
+        assert config.simulation is small_config.simulation
+        assert config.seed == small_config.seed
+        assert config.schedulers is small_config.schedulers
+        assert set(sweep[8].results) == {"ONES", "Tiresias"}
+
+
+class TestConfigSpecBridge:
+    def test_to_spec_defaults_to_paper_schedulers(self, small_config):
+        spec = small_config.to_spec()
+        assert spec.schedulers == ("ONES", "DRL", "Tiresias", "Optimus")
+        assert spec.capacities == (small_config.num_gpus,)
+        assert spec.seeds == (small_config.seed,)
+        assert spec.traces == (small_config.trace,)
+
+    def test_to_spec_rejects_adhoc_factories(self, small_config):
+        small_config.schedulers = _fast_schedulers()
+        with pytest.raises(ValueError, match="ad-hoc"):
+            small_config.to_spec()
+        spec = small_config.to_spec(schedulers=("ONES", "Tiresias"))
+        assert spec.schedulers == ("ONES", "Tiresias")
