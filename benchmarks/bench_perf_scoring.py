@@ -1,23 +1,31 @@
-"""Scalar vs vectorised population scoring (the ONES hot path).
+"""Scalar vs batched engines on the two ONES hot paths: scoring + operators.
 
 The SRUF objective (Eq. 8) is evaluated for every candidate of the
-population at every simulator event, so its cost bounds how large a
-population (and how busy a cluster) the scheduler can afford.  This
-bench scores an identical population through
+population at every simulator event, and the evolution *operators*
+(refresh, crossover repair, mutation refill, reorder, selection) run a
+whole generation around it — together they bound how large a population
+(and how busy a cluster) the scheduler can afford.  This bench drives
+identical workloads through
 
-* the scalar reference path (one Python loop per candidate, one
-  throughput lookup per (job, candidate) pair), and
-* the vectorised engine (one ``bincount`` + one ``ThroughputTable``
-  gather for the whole population),
+* the scalar reference paths (one Python loop per candidate, one
+  throughput lookup per (job, candidate) pair, one Schedule per
+  intermediate), and
+* the batched engines (one ``bincount`` + one ``ThroughputTable``
+  gather for scoring; array ops over the stacked ``(K, num_gpus)``
+  genome matrix for the generation loop),
 
-at every benchmark scale, and writes the ops/sec of both paths to
-``BENCH_scoring.json`` so the perf trajectory is machine-readable
-across PRs.  Run with ``PYTHONPATH=src python -m
+at every benchmark scale, plus one small end-to-end ONES simulation per
+engine, and writes the ops/sec of all paths to ``BENCH_scoring.json``
+so the perf trajectory is machine-readable across PRs.  Both engines
+are bit-identical (asserted here and in the parity suites), so every
+speedup is free.  Run with ``PYTHONPATH=src python -m
 benchmarks.bench_perf_scoring`` or through pytest.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+from functools import lru_cache
 from time import perf_counter
 from typing import Dict
 
@@ -26,12 +34,17 @@ import numpy as np
 from benchmarks._shared import SCALES, SEED, write_perf_record, write_report
 
 from repro.cluster.topology import make_longhorn_cluster
+from repro.core.evolution import EvolutionConfig, EvolutionarySearch
+from repro.core.ones_scheduler import ONESConfig, ONESScheduler
 from repro.core.operators import reorder
-from repro.core.schedule import IDLE, Schedule
+from repro.core.schedule import IDLE, Schedule, stack_genomes
 from repro.core.scoring import score_candidates, score_population
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import generate_trace, run_single
 from repro.jobs.throughput import ThroughputModel, ThroughputTable
+from repro.workload.trace import TraceConfig
 
-from tests._core_helpers import make_jobs
+from tests._core_helpers import make_context, make_jobs
 
 #: Fraction of GPUs knocked idle per candidate so the workload includes
 #: idle genes (the engine must handle them, and real populations do).
@@ -75,6 +88,116 @@ def _candidates_per_sec(fn, num_candidates: int, min_time: float = 0.2) -> float
     return reps * num_candidates / elapsed
 
 
+def _evolution_workload(num_gpus: int, num_jobs: int, seed: int):
+    """A busy snapshot plus a factory for identically-seeded contexts."""
+    jobs = make_jobs(num_jobs)
+    for i, job in enumerate(jobs.values()):
+        job.start_running(0.0, [i % num_gpus], [64])
+        job.advance(1500 * (i + 1), 10.0)
+    model = ThroughputModel(make_longhorn_cluster(num_gpus))
+    limits = {job_id: job.spec.base_batch * 4 for job_id, job in jobs.items()}
+    roster = tuple(sorted(jobs))
+    base = make_context(jobs, num_gpus=num_gpus, limits=limits, seed=seed)
+    table = ThroughputTable(model, jobs, limits, num_gpus, roster=roster)
+
+    def fresh_ctx(rng_seed: int):
+        return replace(
+            base,
+            throughput_fn=None,
+            throughput_table=table,
+            rng=np.random.default_rng(rng_seed),
+        )
+
+    return fresh_ctx
+
+
+def _generations_per_sec(search, ctx, min_time: float = 0.4) -> float:
+    """Full evolution generations per second (steady-state stepping)."""
+    search.step(ctx)  # initialise the population / warm the table
+    reps = 0
+    start = perf_counter()
+    elapsed = 0.0
+    while elapsed < min_time:
+        search.step(ctx)
+        reps += 1
+        elapsed = perf_counter() - start
+    return reps / elapsed
+
+
+def _bench_operator_loop(num_gpus: int, num_jobs: int) -> Dict:
+    """Scalar vs batched generation loop at one scale (K = paper size)."""
+    fresh_ctx = _evolution_workload(num_gpus, num_jobs, SEED)
+
+    def search(batched: bool) -> EvolutionarySearch:
+        return EvolutionarySearch(
+            EvolutionConfig(batched_operators=batched), seed=SEED
+        )
+
+    # Parity guard: identical seeds must yield identical trajectories.
+    scalar_probe, batched_probe = search(False), search(True)
+    ctx_a, ctx_b = fresh_ctx(SEED + 1), fresh_ctx(SEED + 1)
+    for _ in range(2):
+        best_a, score_a = scalar_probe.step(ctx_a)
+        best_b, score_b = batched_probe.step(ctx_b)
+        if score_a != score_b or not np.array_equal(best_a.genome, best_b.genome):
+            raise AssertionError("scalar and batched generations disagree")
+    if not np.array_equal(
+        stack_genomes(scalar_probe.population.members),
+        stack_genomes(batched_probe.population.members),
+    ):
+        raise AssertionError("scalar and batched populations disagree")
+
+    scalar_ops = _generations_per_sec(search(False), fresh_ctx(SEED + 2))
+    batched_ops = _generations_per_sec(search(True), fresh_ctx(SEED + 2))
+    population = EvolutionConfig().resolved_population_size(num_gpus)
+    return {
+        "num_gpus": num_gpus,
+        "num_jobs": num_jobs,
+        "population": population,
+        "scalar_generations_per_sec": round(scalar_ops, 2),
+        "batched_generations_per_sec": round(batched_ops, 2),
+        "speedup": round(batched_ops / scalar_ops, 2),
+    }
+
+
+#: Full-simulation configurations timed per engine: a small smoke scale
+#: and the 64-GPU cluster the ROADMAP end-to-end numbers come from.
+END_TO_END_CONFIGS = ((16, 10), (64, 40))
+
+
+def _bench_end_to_end() -> Dict[str, Dict]:
+    """Full ONES simulations per engine (trajectories must be identical)."""
+    records: Dict[str, Dict] = {}
+    for num_gpus, num_jobs in END_TO_END_CONFIGS:
+        config = ExperimentConfig(
+            num_gpus=num_gpus,
+            trace=TraceConfig(num_jobs=num_jobs, arrival_rate=1.0 / 30.0),
+            seed=SEED,
+        )
+        trace = generate_trace(config)
+        timings: Dict[str, float] = {}
+        results = {}
+        for label, batched in (("scalar", False), ("batched", True)):
+            scheduler = ONESScheduler(
+                ONESConfig(evolution=EvolutionConfig(batched_operators=batched)),
+                seed=SEED,
+            )
+            start = perf_counter()
+            results[label] = run_single(scheduler, trace, config)
+            timings[label] = perf_counter() - start
+        if results["scalar"].completed != results["batched"].completed:
+            raise AssertionError("end-to-end trajectories diverged between engines")
+        records[f"{num_gpus}x{num_jobs}"] = {
+            "num_gpus": num_gpus,
+            "num_jobs": num_jobs,
+            "scalar_seconds": round(timings["scalar"], 3),
+            "batched_seconds": round(timings["batched"], 3),
+            "speedup": round(timings["scalar"] / timings["batched"], 2),
+        }
+    return records
+
+
+@lru_cache(maxsize=1)
 def run() -> Dict:
     """Benchmark every scale and persist the BENCH_scoring.json record."""
     results: Dict[str, Dict] = {}
@@ -114,6 +237,13 @@ def run() -> Dict:
             "first_scoring_pass_seconds": round(table_build_seconds, 6),
         }
 
+    evolution: Dict[str, Dict] = {}
+    for scale_name, params in SCALES.items():
+        evolution[scale_name] = _bench_operator_loop(
+            int(params["num_gpus"]), int(params["num_jobs"])
+        )
+    end_to_end = _bench_end_to_end()
+
     lines = ["Population scoring: scalar reference vs vectorised engine", ""]
     lines.append(
         f"{'scale':<8} {'GPUs':>5} {'jobs':>5} {'K':>4} "
@@ -126,20 +256,52 @@ def run() -> Dict:
             f"{row['vectorized_candidates_per_sec']:>14,.0f} "
             f"{row['speedup']:>7.1f}x"
         )
+    lines += ["", "Evolution operator loop: scalar reference vs batched engine", ""]
+    lines.append(
+        f"{'scale':<8} {'GPUs':>5} {'jobs':>5} {'K':>4} "
+        f"{'scalar gen/s':>13} {'batched gen/s':>14} {'speedup':>8}"
+    )
+    for scale_name, row in evolution.items():
+        lines.append(
+            f"{scale_name:<8} {row['num_gpus']:>5} {row['num_jobs']:>5} "
+            f"{row['population']:>4} {row['scalar_generations_per_sec']:>13,.1f} "
+            f"{row['batched_generations_per_sec']:>14,.1f} "
+            f"{row['speedup']:>7.1f}x"
+        )
+    lines.append("")
+    for row in end_to_end.values():
+        lines.append(
+            f"End-to-end ONES simulation ({row['num_gpus']} GPUs, "
+            f"{row['num_jobs']} jobs): scalar {row['scalar_seconds']}s "
+            f"vs batched {row['batched_seconds']}s "
+            f"({row['speedup']}x, identical trajectories)"
+        )
     write_report("perf_scoring", "\n".join(lines))
-    write_perf_record("scoring", {"scales": results})
-    return results
+    record = {"scales": results, "evolution": evolution, "end_to_end": end_to_end}
+    write_perf_record("scoring", record)
+    return record
 
 
 class TestScoringPerf:
     def test_vectorized_scoring_speedup(self):
-        results = run()
+        results = run()["scales"]
         # The acceptance target: >= 10x on medium-scale population scoring.
         assert results["medium"]["speedup"] >= 10.0
         for row in results.values():
             assert row["table_entries"] <= row["table_capacity"]
 
+    def test_batched_operator_loop_speedup(self):
+        record = run()
+        # PR 3 acceptance: >= 3x on the generation loop at the paper
+        # scale (64 GPUs / 50 jobs / K = 64).
+        assert record["evolution"]["paper"]["speedup"] >= 3.0
+        # End-to-end at the 64-GPU scale must not regress (trajectory
+        # identity is the hard guard, asserted inside the bench itself;
+        # the wall-clock gate tolerates machine noise).
+        assert record["end_to_end"]["64x40"]["speedup"] >= 0.8
+
 
 if __name__ == "__main__":
-    for name, row in run().items():
-        print(name, row)
+    import json
+
+    print(json.dumps(run(), indent=2))

@@ -10,6 +10,8 @@
   refresh, uniform crossover, uniform mutation and reorder.
 * :mod:`repro.core.population` — population initialisation and bookkeeping.
 * :mod:`repro.core.evolution` — the iterative evolutionary search (Fig. 5).
+* :mod:`repro.core.evolution_batched` — the batched genome-matrix form
+  of the operators (bit-identical to the scalar reference).
 * :mod:`repro.core.ones_scheduler` — the ONES scheduler wired into the
   common scheduler interface.
 """
@@ -30,7 +32,14 @@ from repro.core.operators import (
     uniform_mutation,
 )
 from repro.core.population import Population
-from repro.core.evolution import EvolutionConfig, EvolutionarySearch
+from repro.core.evolution import EvolutionConfig, EvolutionEngine, EvolutionarySearch
+from repro.core.evolution_batched import (
+    GenerationResult,
+    fill_idle_population,
+    refresh_population,
+    reorder_population,
+    run_generation,
+)
 from repro.core.ones_scheduler import ONESConfig, ONESScheduler
 
 __all__ = [
@@ -50,7 +59,13 @@ __all__ = [
     "uniform_mutation",
     "Population",
     "EvolutionConfig",
+    "EvolutionEngine",
     "EvolutionarySearch",
+    "GenerationResult",
+    "fill_idle_population",
+    "refresh_population",
+    "reorder_population",
+    "run_generation",
     "ONESConfig",
     "ONESScheduler",
 ]

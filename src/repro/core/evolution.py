@@ -10,15 +10,33 @@ Because the search is *online*, the context (job roster, limits,
 progress distributions) changes between invocations; the population is
 re-indexed onto the new roster and refreshed at the start of every
 iteration so stale candidates never survive unexamined.
+
+Two operator implementations drive the loop:
+
+* the **scalar reference** in :mod:`repro.core.operators` manipulates
+  one :class:`~repro.core.schedule.Schedule` at a time, and
+* the **batched engine** in :mod:`repro.core.evolution_batched` runs a
+  whole generation as array ops over the stacked ``(K, num_gpus)``
+  genome matrix, materialising a :class:`Schedule` only for the winner.
+
+``EvolutionConfig.batched_operators`` (default ``True``) selects the
+engine whenever the context carries a throughput table; both paths are
+bit-identical — same RNG stream, same genomes, same selection order —
+which ``tests/test_core_evolution_batched.py`` asserts differentially.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.evolution_batched import (
+    initial_population_genomes,
+    reindex_genomes,
+    run_generation,
+)
 from repro.core.operators import (
     EvolutionContext,
     refresh,
@@ -27,7 +45,7 @@ from repro.core.operators import (
     uniform_mutation,
 )
 from repro.core.population import Population, initial_population
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, stack_genomes
 from repro.core.scoring import select_top_k
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int, check_probability
@@ -55,6 +73,14 @@ class EvolutionConfig:
         (the search is continuous; each event advances it a little).
     enable_crossover / enable_mutation / enable_reorder:
         Ablation switches for the operator-ablation benchmark.
+    batched_operators:
+        Run each generation through the batched genome-matrix engine
+        (:mod:`repro.core.evolution_batched`) instead of the scalar
+        per-candidate operators.  Requires the context to carry a
+        throughput table (the ONES scheduler always provides one);
+        contexts without one silently use the scalar reference.  Both
+        engines are bit-identical, so this flag only trades speed for
+        debuggability.
     """
 
     population_size: Optional[int] = None
@@ -64,6 +90,7 @@ class EvolutionConfig:
     enable_crossover: bool = True
     enable_mutation: bool = True
     enable_reorder: bool = True
+    batched_operators: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size is not None:
@@ -87,28 +114,90 @@ class EvolutionConfig:
 
 
 class EvolutionarySearch:
-    """Maintains the population across scheduler invocations."""
+    """Maintains the population across scheduler invocations.
+
+    In batched mode the population lives as a ``(K, num_gpus)`` genome
+    matrix between events; :class:`~repro.core.schedule.Schedule`
+    objects are materialised only for the per-event winner (through the
+    validation-skipping :meth:`Schedule.from_validated_genome`) and on
+    demand through the :attr:`population` view.
+    """
 
     def __init__(self, config: Optional[EvolutionConfig] = None, seed: SeedLike = None) -> None:
         self.config = config or EvolutionConfig()
         self._rng = as_generator(seed)
-        self.population: Population = Population()
+        self._members: Population = Population()
+        self._genomes: Optional[np.ndarray] = None
+        self._genome_roster: Optional[Tuple[str, ...]] = None
         self.best_candidate: Optional[Schedule] = None
         self.best_score: float = float("inf")
         self.iterations_run: int = 0
+
+    # -- population views -----------------------------------------------------------------------
+
+    @property
+    def population(self) -> Population:
+        """The current population as :class:`Schedule` objects.
+
+        In batched mode this materialises the genome matrix on demand
+        (cheap: the fast-path constructor skips re-validation) — the
+        returned :class:`Population` is a *detached view*, so mutating
+        it (``search.population.add(...)``) does not feed back into the
+        search; assign a whole :class:`Population` to the property
+        instead.  In scalar mode it is the live population object.
+        """
+        if self._genomes is not None:
+            roster = self._genome_roster or ()
+            return Population(
+                [Schedule.from_validated_genome(roster, row) for row in self._genomes]
+            )
+        return self._members
+
+    @population.setter
+    def population(self, value: Population) -> None:
+        self._members = value
+        self._genomes = None
+        self._genome_roster = None
+
+    @property
+    def population_size(self) -> int:
+        """Current population size without materialising any Schedules."""
+        if self._genomes is not None:
+            return int(self._genomes.shape[0])
+        return len(self._members)
+
+    def _use_batched(self, ctx: EvolutionContext) -> bool:
+        return self.config.batched_operators and ctx.throughput_table is not None
 
     # -- population lifecycle -------------------------------------------------------------------
 
     def ensure_population(self, ctx: EvolutionContext, current: Optional[Schedule]) -> None:
         """(Re)initialise the population if empty or the roster changed."""
         size = self.config.resolved_population_size(ctx.num_gpus)
-        if len(self.population) == 0:
-            self.population = initial_population(ctx, size, current=current, seed=self._rng)
+        if self._genomes is not None:
+            if self._genome_roster != ctx.roster:
+                genomes = reindex_genomes(self._genomes, self._genome_roster, ctx.roster)
+                if current is not None:
+                    reindexed = current.reindexed(ctx.roster).genome
+                    genomes = np.concatenate([genomes, reindexed[None, :]], axis=0)
+                self._genomes = genomes
+                self._genome_roster = ctx.roster
             return
-        if self.population.members[0].roster != ctx.roster:
-            self.population = self.population.reindexed(ctx.roster)
+        if len(self._members) == 0:
+            if self._use_batched(ctx):
+                self._genomes = initial_population_genomes(
+                    ctx, size, current=current, seed=self._rng
+                )
+                self._genome_roster = ctx.roster
+            else:
+                self._members = initial_population(
+                    ctx, size, current=current, seed=self._rng
+                )
+            return
+        if self._members.members[0].roster != ctx.roster:
+            self._members = self._members.reindexed(ctx.roster)
             if current is not None:
-                self.population.add(current.reindexed(ctx.roster))
+                self._members.add(current.reindexed(ctx.roster))
 
     # -- one iteration ------------------------------------------------------------------------------
 
@@ -127,6 +216,26 @@ class EvolutionarySearch:
         return best
 
     def _iterate(self, ctx: EvolutionContext) -> Tuple[Schedule, float]:
+        if self._use_batched(ctx):
+            return self._iterate_batched(ctx)
+        return self._iterate_scalar(ctx)
+
+    def _iterate_batched(self, ctx: EvolutionContext) -> Tuple[Schedule, float]:
+        """One generation on the genome matrix (no intermediate Schedules)."""
+        if self._genomes is None:
+            # The population was built by the scalar path (e.g. a
+            # table-less event earlier); lift it onto the matrix once.
+            self._genomes = stack_genomes(self._members.members)
+            self._genome_roster = self._members.members[0].roster
+            self._members = Population()
+        result = run_generation(self._genomes, ctx, self.config)
+        self._genomes = result.population
+        self._genome_roster = ctx.roster
+        best = Schedule.from_validated_genome(ctx.roster, result.best_genome)
+        return best, result.best_score
+
+    def _iterate_scalar(self, ctx: EvolutionContext) -> Tuple[Schedule, float]:
+        """The scalar reference generation (one Schedule at a time)."""
         size = self.config.resolved_population_size(ctx.num_gpus)
         # Refresh every member against the live job status.
         refreshed = [refresh(member, ctx) for member in self.population]
@@ -168,6 +277,10 @@ class EvolutionarySearch:
         )
         self.population = Population([schedule for schedule, _ in survivors])
         return survivors[0]
+
+
+#: Alias used by docs and callers that think of this as "the engine".
+EvolutionEngine = EvolutionarySearch
 
 
 def fill_or_keep(candidate: Schedule, ctx: EvolutionContext) -> Schedule:

@@ -8,7 +8,12 @@ interface:
 * a :class:`~repro.core.batch_limit.BatchSizeLimiter` applying the
   start / resume / scale-up / scale-down policies to ``R_j`` (§3.3.2),
 * an :class:`~repro.core.evolution.EvolutionarySearch` over schedule
-  genomes scored with the SRUF objective (Eq. 8 / Algorithm 1),
+  genomes scored with the SRUF objective (Eq. 8 / Algorithm 1) — by
+  default the whole generation loop runs through the batched
+  genome-matrix engine (:mod:`repro.core.evolution_batched`), which is
+  bit-identical to the scalar operators; set
+  ``EvolutionConfig(batched_operators=False)`` to run the readable
+  scalar reference instead,
 * elastic re-configuration (Fig. 11) so deploying a new candidate costs
   about a second per affected job rather than tens of seconds.
 
@@ -274,7 +279,8 @@ class ONESScheduler(SchedulerBase):
     def describe_state(self) -> Dict[str, object]:
         """Debug summary used in logs and the quickstart example."""
         return {
-            "population_size": len(self.search.population),
+            "population_size": self.search.population_size,
+            "batched_operators": self.config.evolution.batched_operators,
             "iterations_run": self.search.iterations_run,
             "predictor_fits": self.predictor.fit_count,
             "full_updates": self.num_full_updates,

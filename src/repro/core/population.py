@@ -74,6 +74,11 @@ def initial_population(
     When ``current`` (the currently deployed schedule) is given it is
     seeded into the population so the search can never regress below the
     status quo.
+
+    The batched engine builds ``G_0`` directly as a genome matrix
+    (:func:`repro.core.evolution_batched.initial_population_genomes`)
+    with the exact same RNG draws; both initialisers are parity-tested
+    to produce identical populations.
     """
     check_positive_int(size, "size")
     rng = as_generator(seed if seed is not None else ctx.rng)

@@ -62,6 +62,31 @@ class Schedule:
     # -- constructors ---------------------------------------------------------------------
 
     @classmethod
+    def from_validated_genome(
+        cls, roster: Tuple[str, ...], genome: np.ndarray
+    ) -> "Schedule":
+        """Fast-path constructor for genomes the engine produced itself.
+
+        Skips the :meth:`__post_init__` validation (shape, roster
+        uniqueness, value bounds) — the batched evolution engine only
+        ever emits genomes derived from already-validated ones, and
+        re-validating every intermediate candidate showed up in
+        profiles.  The genome is still defensively copied and frozen, so
+        a materialised schedule can never alias the engine's mutable
+        population matrix.
+
+        Anything user-facing must keep going through the public
+        constructor; corrupt genomes fed to :class:`Schedule` directly
+        are still rejected (and a regression test pins that behaviour).
+        """
+        genome = np.array(genome, dtype=np.int64)
+        genome.setflags(write=False)
+        schedule = cls.__new__(cls)
+        object.__setattr__(schedule, "roster", tuple(roster))
+        object.__setattr__(schedule, "genome", genome)
+        return schedule
+
+    @classmethod
     def empty(cls, roster: Sequence[str], num_gpus: int) -> "Schedule":
         """A schedule with every GPU idle."""
         return cls(roster=tuple(roster), genome=np.full(num_gpus, IDLE, dtype=np.int64))

@@ -224,7 +224,10 @@ def score_count_matrix(
     """Eq. 8 from a precomputed ``(K, num_jobs)`` GPU-count matrix.
 
     ``crosses_nodes`` carries per-(candidate, job) placement locality;
-    ``None`` assumes canonical packed placements.
+    ``None`` assumes canonical packed placements.  This is the scoring
+    entry point of the batched evolution engine's selection step
+    (:func:`repro.core.evolution_batched.run_generation`), which already
+    holds counts and crossings for its de-duplicated candidate pool.
     """
     counts = np.asarray(counts, dtype=np.int64)
     if len(roster) == 0:

@@ -36,6 +36,37 @@ class TestConstruction:
         with pytest.raises(ValueError):
             Schedule(roster=roster, genome=np.array([-2]))
 
+    def test_corrupt_genome_rejected_by_public_constructor(self, roster):
+        """The validation gap the batched fast path must never open.
+
+        ``Schedule.from_validated_genome`` deliberately skips
+        ``__post_init__`` for engine-internal genomes; this test pins
+        that every *public* construction of the same corrupt genomes is
+        still rejected, so the fast path cannot leak into user-facing
+        APIs unnoticed.
+        """
+        corrupt_out_of_roster = np.array([0, 1, len(roster), IDLE])
+        corrupt_below_idle = np.array([0, 1, -7, IDLE])
+        corrupt_shape = np.array([[0, 1], [2, IDLE]])
+        for corrupt in (corrupt_out_of_roster, corrupt_below_idle, corrupt_shape):
+            with pytest.raises(ValueError):
+                Schedule(roster=roster, genome=corrupt)
+        # The fast path itself performs no validation — that is its
+        # contract — but its output for a *valid* genome is
+        # indistinguishable from a publicly constructed schedule.
+        valid = np.array([0, 1, 2, IDLE])
+        fast = Schedule.from_validated_genome(roster, valid)
+        assert fast == Schedule(roster=roster, genome=valid)
+        assert hash(fast) == hash(Schedule(roster=roster, genome=valid))
+
+    def test_from_validated_genome_copies_and_freezes(self, roster):
+        source = np.array([0, 1, 2, IDLE])
+        fast = Schedule.from_validated_genome(roster, source)
+        source[0] = 2  # mutating the caller's array must not alias
+        assert fast.job_id_at(0) == "job-a"
+        with pytest.raises(ValueError):
+            fast.genome[0] = 1  # frozen like the public constructor's
+
     def test_from_assignment(self, roster):
         sched = Schedule.from_assignment(roster, 4, {0: "job-b", 3: "job-a"})
         assert sched.job_id_at(0) == "job-b"
