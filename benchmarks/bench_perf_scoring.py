@@ -39,9 +39,12 @@ from repro.core.ones_scheduler import ONESConfig, ONESScheduler
 from repro.core.operators import reorder
 from repro.core.schedule import IDLE, Schedule, stack_genomes
 from repro.core.scoring import score_candidates, score_population
+from repro.experiments.backends import simulate_trace
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import create_scheduler
 from repro.experiments.runner import generate_trace, run_single
 from repro.jobs.throughput import ThroughputModel, ThroughputTable
+from repro.sim.simulator import SimulationConfig
 from repro.workload.trace import TraceConfig
 
 from tests._core_helpers import make_context, make_jobs
@@ -197,6 +200,66 @@ def _bench_end_to_end() -> Dict[str, Dict]:
     return records
 
 
+#: Event-loop configurations: the 16-GPU smoke scale and the 64-GPU
+#: cluster the acceptance numbers come from.
+EVENT_LOOP_CONFIGS = ((16, 10), (64, 40))
+
+
+def _bench_event_loop() -> Dict[str, Dict]:
+    """Kernel + GPR-policy wall-clock of full ONES simulations.
+
+    Times the simulation engine end to end under the two predictor
+    policies: ``default`` is the paper-faithful full-refit-per-completion
+    path (trajectory-pinned to the PR 3 baseline by the golden-trace and
+    differential parity suites — only faster), ``incremental_gpr`` is the
+    rank-1-update policy (``refit_policy="incremental"``), which trades
+    bounded predictor staleness for long-trace throughput.  Profiling is
+    on, so the GPR-refit share of every run is recorded.
+    """
+    records: Dict[str, Dict] = {}
+    for num_gpus, num_jobs in EVENT_LOOP_CONFIGS:
+        config = ExperimentConfig(
+            num_gpus=num_gpus,
+            trace=TraceConfig(num_jobs=num_jobs, arrival_rate=1.0 / 30.0),
+            seed=SEED,
+        )
+        trace = generate_trace(config)
+        row: Dict[str, Dict] = {}
+        for label, options in (
+            ("default", {}),
+            ("incremental_gpr", {"refit_policy": "incremental"}),
+        ):
+            scheduler = create_scheduler("ONES", SEED, **options)
+            start = perf_counter()
+            result = simulate_trace(
+                scheduler, trace, num_gpus, SimulationConfig(collect_profile=True)
+            )
+            elapsed = perf_counter() - start
+            # Total GPR cost = full refits + rank-1 appends, so the share
+            # is honest for the incremental policy too.
+            refit = result.profile.get("gpr_refit_seconds", 0.0) + result.profile.get(
+                "gpr_partial_fit_seconds", 0.0
+            )
+            row[label] = {
+                "seconds": round(elapsed, 3),
+                "events": result.events_processed,
+                "events_per_sec": round(result.events_processed / elapsed, 1),
+                "gpr_refit_seconds": round(refit, 3),
+                "gpr_refit_share": round(refit / elapsed, 3),
+                "gpr_full_fits": scheduler.predictor.fit_count,
+                "gpr_partial_fits": scheduler.predictor.partial_fit_count,
+                "completed": len(result.completed),
+                "average_jct": round(result.average_jct, 1),
+            }
+        records[f"{num_gpus}x{num_jobs}"] = {
+            "num_gpus": num_gpus,
+            "num_jobs": num_jobs,
+            **row,
+            "speedup": round(row["default"]["seconds"] / row["incremental_gpr"]["seconds"], 2),
+        }
+    return records
+
+
 @lru_cache(maxsize=1)
 def run() -> Dict:
     """Benchmark every scale and persist the BENCH_scoring.json record."""
@@ -243,6 +306,7 @@ def run() -> Dict:
             int(params["num_gpus"]), int(params["num_jobs"])
         )
     end_to_end = _bench_end_to_end()
+    event_loop = _bench_event_loop()
 
     lines = ["Population scoring: scalar reference vs vectorised engine", ""]
     lines.append(
@@ -276,8 +340,26 @@ def run() -> Dict:
             f"vs batched {row['batched_seconds']}s "
             f"({row['speedup']}x, identical trajectories)"
         )
+    lines += ["", "Event loop: default (paper-exact) vs incremental-GPR policy", ""]
+    lines.append(
+        f"{'scale':<8} {'default ev/s':>13} {'incr ev/s':>10} "
+        f"{'refit share':>12} {'-> share':>9} {'speedup':>8}"
+    )
+    for key, row in event_loop.items():
+        lines.append(
+            f"{key:<8} {row['default']['events_per_sec']:>13,.0f} "
+            f"{row['incremental_gpr']['events_per_sec']:>10,.0f} "
+            f"{row['default']['gpr_refit_share']:>11.0%} "
+            f"{row['incremental_gpr']['gpr_refit_share']:>8.0%} "
+            f"{row['speedup']:>7.1f}x"
+        )
     write_report("perf_scoring", "\n".join(lines))
-    record = {"scales": results, "evolution": evolution, "end_to_end": end_to_end}
+    record = {
+        "scales": results,
+        "evolution": evolution,
+        "end_to_end": end_to_end,
+        "event_loop": event_loop,
+    }
     write_perf_record("scoring", record)
     return record
 
@@ -299,6 +381,24 @@ class TestScoringPerf:
         # identity is the hard guard, asserted inside the bench itself;
         # the wall-clock gate tolerates machine noise).
         assert record["end_to_end"]["64x40"]["speedup"] >= 0.8
+
+    def test_event_loop_incremental_gpr_speedup(self):
+        row = run()["event_loop"]["64x40"]
+        # PR 4 acceptance: the incremental-GPR policy doubles end-to-end
+        # ONES wall-clock at 64 GPUs / 40 jobs.  The "default" side is
+        # the PR 3 trajectory (pinned bit-identical by the parity
+        # suites), itself already faster than the PR 3 build — so this
+        # in-bench ratio *understates* the speedup vs the true PR 3
+        # baseline.  Gated below 2.0 only for machine noise.
+        assert row["speedup"] >= 1.7
+        # The GPR-refit share must drop measurably.
+        assert (
+            row["incremental_gpr"]["gpr_refit_share"]
+            < 0.5 * row["default"]["gpr_refit_share"]
+        )
+        # Both runs finish the whole trace.
+        assert row["default"]["completed"] == row["num_jobs"]
+        assert row["incremental_gpr"]["completed"] == row["num_jobs"]
 
 
 if __name__ == "__main__":

@@ -53,7 +53,16 @@ class SchedulerCapabilities:
 
 @dataclass
 class ClusterState:
-    """Read-only snapshot handed to scheduler callbacks."""
+    """Read-only snapshot handed to scheduler callbacks.
+
+    Freshness contract: the simulator keeps per-job progress in a
+    vectorized ledger between events (:mod:`repro.sim.ledger`) and
+    materializes it back into the ``Job`` objects immediately before a
+    snapshot is built — so within a callback every job attribute is
+    exact for ``now``.  Do *not* stash ``Job`` references and read their
+    progress outside a callback: between events they may lag behind the
+    ledger until the next materialization point.
+    """
 
     now: float
     topology: ClusterTopology

@@ -132,6 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist per-cell artifacts, sweep JSON and report here")
     compare.add_argument("--resume", action="store_true",
                          help="reuse cell artifacts cached in --output-dir")
+    compare.add_argument("--profile", action="store_true",
+                         help="record per-phase wall-clock in every cell artifact "
+                              "and print a summary")
     compare.add_argument("--csv", type=Path, default=None)
     compare.add_argument("--json", type=Path, default=None)
     compare.add_argument("--report", type=Path, default=None,
@@ -143,15 +146,21 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None, metavar="NAME",
                        help="registry names to compare (default: the paper's four)")
     sweep.add_argument("--jobs", type=int, default=50)
+    sweep.add_argument("--traces", type=int, nargs="+", default=None, metavar="JOBS",
+                       help="trace sizes for a multi-trace grid (one trace per "
+                            "job count; overrides --jobs; metrics average over traces)")
     sweep.add_argument("--arrival-interval", type=float, default=30.0)
     sweep.add_argument("--seeds", type=int, nargs="+", default=[2021],
-                       help="one run per (scheduler, capacity, seed) cell")
+                       help="one run per (scheduler, capacity, seed, trace) cell")
     sweep.add_argument("--workers", type=int, default=1,
                        help="run cells on a process pool of this size (1 = serial)")
     sweep.add_argument("--output-dir", type=Path, default=None,
                        help="persist per-cell artifacts, sweep JSON and report here")
     sweep.add_argument("--resume", action="store_true",
                        help="reuse cell artifacts cached in --output-dir")
+    sweep.add_argument("--profile", action="store_true",
+                       help="record per-phase wall-clock (ledger advance, handlers, "
+                            "GPR refits) in every cell artifact and print a summary")
     sweep.add_argument("--json", type=Path, default=None)
 
     scheds = sub.add_parser("schedulers", help="list the scheduler registry (Table 3)")
@@ -182,12 +191,39 @@ def _dedupe(values: Sequence) -> tuple:
 
 
 def _experiment_spec(args, capacities: Sequence[int], seeds: Sequence[int]) -> ExperimentSpec:
+    job_counts = getattr(args, "traces", None) or [args.jobs]
+    traces = tuple(
+        TraceConfig(num_jobs=int(jobs), arrival_rate=1.0 / args.arrival_interval)
+        for jobs in _dedupe(job_counts)
+    )
+    simulation = SimulationConfig(collect_profile=bool(getattr(args, "profile", False)))
     return ExperimentSpec(
         schedulers=_dedupe(_canonical_names(args.schedulers)),
         capacities=_dedupe(capacities),
         seeds=_dedupe(seeds),
-        traces=(TraceConfig(num_jobs=args.jobs, arrival_rate=1.0 / args.arrival_interval),),
+        traces=traces,
+        simulation=simulation,
     )
+
+
+def _print_profile_summary(sweep) -> None:
+    """Per-cell phase table for ``--profile`` runs (headline phases only)."""
+    rows = []
+    for run in sweep.runs:
+        profile = run.result.profile
+        if not profile:
+            continue
+        rows.append({
+            "cell": f"{run.spec.label()}/{run.spec.trace.num_jobs}j",
+            "total_s": round(profile.get("total_seconds", 0.0), 3),
+            "advance_s": round(profile.get("advance_seconds", 0.0), 3),
+            "epoch_end_s": round(profile.get("handler_epoch_end_seconds", 0.0), 3),
+            "gpr_refit_s": round(profile.get("gpr_refit_seconds", 0.0), 3),
+        })
+    if rows:
+        print()
+        print("Per-phase wall-clock (--profile)")
+        print(format_table(rows))
 
 
 def _make_runner(args) -> Runner:
@@ -264,6 +300,8 @@ def cmd_compare(args) -> int:
         from repro.experiments.report import write_comparison_report
 
         print(f"markdown report written to {write_comparison_report(comparison, args.report)}")
+    if args.profile:
+        _print_profile_summary(sweep)
     if args.output_dir:
         _persist_sweep(sweep, args.output_dir)
     return 0
@@ -291,11 +329,13 @@ def cmd_sweep(args) -> int:
         print("Relative JCT, ONES = 1.0 (Fig. 18)")
         print(ascii_series(capacities, rel_series, x_label="# GPUs"))
     if args.json:
-        if len(spec.seeds) == 1:
+        if len(spec.seeds) == 1 and len(spec.traces) == 1:
             print(f"sweep written to {export_sweep_json(sweep.to_comparisons(), args.json)}")
         else:
             args.json.write_text(sweep.to_json() + "\n")
             print(f"sweep artifact written to {args.json}")
+    if args.profile:
+        _print_profile_summary(sweep)
     if args.output_dir:
         _persist_sweep(sweep, args.output_dir)
     return 0

@@ -276,6 +276,18 @@ class ONESScheduler(SchedulerBase):
 
     # ------------------------------------------------------------------ introspection
 
+    def profile_phases(self) -> Dict[str, float]:
+        """Scheduler-side wall-clock phases picked up by ``SimProfile``.
+
+        The simulator merges these into ``SimulationResult.profile`` when
+        the run was configured with ``collect_profile=True``, which is
+        how the GPR-refit share of a run becomes measurable.
+        """
+        return {
+            "gpr_refit": self.predictor.refit_seconds,
+            "gpr_partial_fit": self.predictor.partial_fit_seconds,
+        }
+
     def describe_state(self) -> Dict[str, object]:
         """Debug summary used in logs and the quickstart example."""
         return {
@@ -283,6 +295,8 @@ class ONESScheduler(SchedulerBase):
             "batched_operators": self.config.evolution.batched_operators,
             "iterations_run": self.search.iterations_run,
             "predictor_fits": self.predictor.fit_count,
+            "predictor_partial_fits": self.predictor.partial_fit_count,
+            "refit_policy": self.config.predictor.refit_policy,
             "full_updates": self.num_full_updates,
             "incremental_fills": self.num_incremental_fills,
             "tracked_limits": len(self.limiter.limits()),

@@ -41,6 +41,7 @@ from repro.baselines.srtf import SRTFScheduler
 from repro.baselines.tiresias import TiresiasScheduler
 from repro.core.evolution import EvolutionConfig
 from repro.core.ones_scheduler import ONESConfig, ONESScheduler
+from repro.prediction.predictor import PredictorConfig
 
 #: Factory signature: ``(seed, **options) -> SchedulerBase``.
 SchedulerFactory = Callable[..., SchedulerBase]
@@ -202,12 +203,17 @@ def _make_ones(
     mutation_rate: Optional[float] = None,
     crossover_pairs: Optional[int] = None,
     iterations_per_invocation: Optional[int] = None,
+    refit_policy: Optional[str] = None,
+    refit_interval: Optional[int] = None,
 ) -> ONESScheduler:
     """ONES factory.
 
     ``config``/``evolution`` take full configuration objects (programmatic
     use); the scalar options are JSON-friendly shortcuts for the common
-    evolution knobs so declarative specs can scale the search down.
+    evolution knobs so declarative specs can scale the search down, plus
+    the GPR ``refit_policy``/``refit_interval`` pair so sweeps can trade
+    predictor freshness for long-trace throughput (see
+    :class:`~repro.prediction.predictor.PredictorConfig`).
     """
     if config is None:
         if evolution is None:
@@ -221,7 +227,15 @@ def _make_ones(
             if iterations_per_invocation is not None:
                 overrides["iterations_per_invocation"] = int(iterations_per_invocation)
             evolution = EvolutionConfig(**overrides)
-        config = ONESConfig(evolution=evolution)
+        predictor_overrides: Dict[str, object] = {}
+        if refit_policy is not None:
+            predictor_overrides["refit_policy"] = str(refit_policy)
+        if refit_interval is not None:
+            predictor_overrides["refit_interval"] = int(refit_interval)
+        config = ONESConfig(
+            evolution=evolution,
+            predictor=PredictorConfig(**predictor_overrides),
+        )
     return ONESScheduler(config, seed=seed)
 
 

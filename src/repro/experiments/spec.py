@@ -28,7 +28,9 @@ from repro.utils.validation import check_positive_int
 from repro.workload.trace import TraceConfig
 
 #: Bumped whenever the serialized layout of specs/artifacts changes.
-SCHEMA_VERSION = 1
+#: v2: ``SimulationConfig.collect_profile`` + ``SimulationResult.profile``
+#: (per-phase wall-clock profiling threaded through run specs).
+SCHEMA_VERSION = 2
 
 
 def _canonical_json(payload: object) -> str:

@@ -141,3 +141,11 @@ class BayesianLinearRegression:
         """Predict mean and std for a single feature vector."""
         mean, std = self.predict(np.atleast_2d(x), return_std=True)
         return float(mean[0]), float(std[0])
+
+    def predict_mean_one(self, x: np.ndarray) -> float:
+        """Predictive mean only for a single feature vector.
+
+        Skips the posterior-covariance contraction the variance needs —
+        hot-path callers that never read the uncertainty use this.
+        """
+        return float(self.predict(np.atleast_2d(x))[0])

@@ -10,26 +10,30 @@ regressor from scratch with
 * a Gaussian noise term,
 * hyper-parameter fitting by L-BFGS-B on the negative log marginal
   likelihood (with analytic gradients),
-* predictive mean and variance via the Cholesky factorisation.
+* predictive mean and variance via the Cholesky factorisation,
+* an incremental :meth:`~GaussianProcessRegression.partial_fit` that
+  appends training points by a rank-1 (block) Cholesky row update in
+  O(n²·m) instead of re-factorising in O(n³) — the fast path behind the
+  predictor's ``refit_policy="incremental"``.
 
 Only numpy/scipy are used; no external ML framework is required.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 import numpy as np
 from scipy import optimize
+from scipy.linalg import solve_triangular
 
 from repro.utils.validation import check_positive, check_positive_int
 
 
-def rbf_kernel(
-    X1: np.ndarray, X2: np.ndarray, signal_variance: float, length_scale: float
-) -> np.ndarray:
-    """Squared-exponential kernel matrix between the rows of X1 and X2."""
+def squared_distances(X1: np.ndarray, X2: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances between the rows of X1 and X2."""
     X1 = np.atleast_2d(np.asarray(X1, dtype=float))
     X2 = np.atleast_2d(np.asarray(X2, dtype=float))
     sq_dists = (
@@ -37,8 +41,21 @@ def rbf_kernel(
         + np.sum(X2**2, axis=1)[None, :]
         - 2.0 * X1 @ X2.T
     )
-    sq_dists = np.maximum(sq_dists, 0.0)
+    return np.maximum(sq_dists, 0.0)
+
+
+def rbf_from_sq_dists(
+    sq_dists: np.ndarray, signal_variance: float, length_scale: float
+) -> np.ndarray:
+    """Squared-exponential kernel from precomputed squared distances."""
     return signal_variance * np.exp(-0.5 * sq_dists / (length_scale**2))
+
+
+def rbf_kernel(
+    X1: np.ndarray, X2: np.ndarray, signal_variance: float, length_scale: float
+) -> np.ndarray:
+    """Squared-exponential kernel matrix between the rows of X1 and X2."""
+    return rbf_from_sq_dists(squared_distances(X1, X2), signal_variance, length_scale)
 
 
 @dataclass
@@ -77,6 +94,7 @@ class GaussianProcessRegression:
     _y_mean: float = field(default=0.0, init=False)
     _y_scale: float = field(default=1.0, init=False)
     log_marginal_likelihood_: float = field(default=float("-inf"), init=False)
+    _fit_count: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         check_positive(self.length_scale, "length_scale")
@@ -88,30 +106,54 @@ class GaussianProcessRegression:
 
     # -- marginal likelihood --------------------------------------------------------------
 
-    def _nll_and_grad(
+    def _nll_terms(
         self, log_params: np.ndarray, X: np.ndarray, y: np.ndarray
-    ) -> Tuple[float, np.ndarray]:
-        """Negative log marginal likelihood and its gradient in log-space."""
+    ) -> Optional[Tuple[float, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Shared NLL prefix: ``(nll, L, alpha, sq_dists, K_rbf)``.
+
+        Single implementation of the kernel build, Cholesky and alpha
+        solve, so :meth:`_nll_value` is *structurally* the value
+        :meth:`_nll_and_grad` computes rather than a hand-kept copy.
+        Returns ``None`` when the kernel is not positive definite.
+        """
         signal, length, noise = np.exp(log_params)
         n = X.shape[0]
-        K = rbf_kernel(X, X, signal, length) + (noise + self.jitter) * np.eye(n)
+        sq_dists = squared_distances(X, X)
+        K_rbf = rbf_from_sq_dists(sq_dists, signal, length)
+        K = K_rbf + (noise + self.jitter) * np.eye(n)
         try:
             L = np.linalg.cholesky(K)
         except np.linalg.LinAlgError:
-            return 1e25, np.zeros(3)
+            return None
         alpha = np.linalg.solve(L.T, np.linalg.solve(L, y))
         nll = (
             0.5 * float(y @ alpha)
             + float(np.sum(np.log(np.diag(L))))
             + 0.5 * n * np.log(2.0 * np.pi)
         )
+        return float(nll), L, alpha, sq_dists, K_rbf
+
+    def _nll_and_grad(
+        self, log_params: np.ndarray, X: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Negative log marginal likelihood and its gradient in log-space.
+
+        The squared distances are computed once and reused for both the
+        kernel and the length-scale gradient.  (They used to be recovered
+        from the kernel itself via ``log(K_rbf / signal)`` clamped at
+        1e-300, which silently zeroed — i.e. got *wrong* — the gradient
+        contribution of point pairs distant enough for the kernel to
+        underflow.)
+        """
+        terms = self._nll_terms(log_params, X, y)
+        if terms is None:
+            return 1e25, np.zeros(3)
+        nll, L, alpha, sq_dists, K_rbf = terms
+        _, length, noise = np.exp(log_params)
+        n = X.shape[0]
         # Gradients: dNLL/dθ = -0.5 tr((αα^T - K^{-1}) dK/dθ)
         K_inv = np.linalg.solve(L.T, np.linalg.solve(L, np.eye(n)))
         outer = np.outer(alpha, alpha) - K_inv
-        K_rbf = rbf_kernel(X, X, signal, length)
-        sq_dists = -2.0 * (length**2) * np.log(
-            np.maximum(K_rbf / max(signal, 1e-300), 1e-300)
-        )
         dK_dsignal = K_rbf  # d/d log(signal) since K ∝ signal
         dK_dlength = K_rbf * sq_dists / (length**2)  # d/d log(length)
         dK_dnoise = noise * np.eye(n)  # d/d log(noise)
@@ -122,9 +164,34 @@ class GaussianProcessRegression:
                 float(np.sum(outer * dK_dnoise)),
             ]
         )
-        return float(nll), grad
+        return nll, grad
+
+    def _nll_value(self, log_params: np.ndarray, X: np.ndarray, y: np.ndarray) -> float:
+        """Negative log marginal likelihood only (no O(n³) gradient terms).
+
+        Exactly the value :meth:`_nll_and_grad` returns (same code path)
+        minus the ``K⁻¹`` computation the gradient needs, which is the
+        single most expensive part of an evaluation.
+        """
+        terms = self._nll_terms(log_params, X, y)
+        return 1e25 if terms is None else terms[0]
 
     # -- fitting --------------------------------------------------------------------------
+
+    def _subsample_rng(self) -> np.random.Generator:
+        """RNG for the training-pool subsample.
+
+        The first fit reproduces the historical stream
+        (``default_rng(random_state)``); later fits on the *same*
+        instance mix the fit counter into the seed so successive refits
+        see different subsamples instead of silently reusing identical
+        ``rng.choice`` indices forever.
+        """
+        if self.random_state is None:
+            return np.random.default_rng()
+        if self._fit_count == 0:
+            return np.random.default_rng(self.random_state)
+        return np.random.default_rng((self.random_state, self._fit_count))
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegression":
         """Fit to ``(X, y)``, optimising hyper-parameters by marginal likelihood."""
@@ -135,9 +202,10 @@ class GaussianProcessRegression:
         if X.shape[0] == 0:
             raise ValueError("cannot fit GaussianProcessRegression on no data")
         if X.shape[0] > self.max_training_points:
-            rng = np.random.default_rng(self.random_state)
+            rng = self._subsample_rng()
             keep = rng.choice(X.shape[0], size=self.max_training_points, replace=False)
             X, y = X[keep], y[keep]
+        self._fit_count += 1
         if self.normalize_y:
             self._y_mean = float(np.mean(y))
             self._y_scale = float(np.std(y))
@@ -170,12 +238,74 @@ class GaussianProcessRegression:
             self._chol.T, np.linalg.solve(self._chol, y_std)
         )
         self.X_train_, self.y_train_ = X, y_std
-        self.log_marginal_likelihood_ = -self._nll_and_grad(
+        self.log_marginal_likelihood_ = -self._nll_value(
             np.log([self.signal_variance, self.length_scale, self.noise_variance]),
             X,
             y_std,
-        )[0]
+        )
         return self
+
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> bool:
+        """Append training points via a rank-1 (block) Cholesky row update.
+
+        With ``L`` the Cholesky factor of the current ``n×n`` kernel, the
+        factor of the kernel extended by ``m`` new points is::
+
+            [[L,    0  ],
+             [W.T,  L_s]]   with  W = L⁻¹ K(X_old, X_new)
+                            and   L_s = chol(K(X_new, X_new) + σ²I - W.T W)
+
+        so appending costs O(n²·m) (two triangular solves dominate)
+        instead of the O(n³) full re-factorisation, and the posterior
+        ``alpha`` is refreshed by two O(n²) triangular solves.  The
+        hyper-parameters (and the target normalisation) are *not*
+        re-optimised — that is the caller's job on its full-refit cadence
+        (see ``PredictorConfig.refit_policy``).
+
+        Returns ``False`` — leaving the model untouched — when the update
+        cannot be applied: the model is unfitted, the extended set would
+        exceed ``max_training_points``, or the Schur complement is not
+        positive definite (numerically degenerate batch).  Callers fall
+        back to a full :meth:`fit`.
+        """
+        if self._alpha is None or self.X_train_ is None or self._chol is None:
+            return False
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]} targets")
+        m = X.shape[0]
+        if m == 0:
+            return True
+        n = self.X_train_.shape[0]
+        if n + m > self.max_training_points:
+            return False
+        y_std_new = (y - self._y_mean) / self._y_scale
+        K_cross = rbf_kernel(self.X_train_, X, self.signal_variance, self.length_scale)
+        W = solve_triangular(self._chol, K_cross, lower=True)
+        K_new = rbf_kernel(X, X, self.signal_variance, self.length_scale)
+        K_new += (self.noise_variance + self.jitter) * np.eye(m)
+        schur = K_new - W.T @ W
+        try:
+            L_s = np.linalg.cholesky(schur)
+        except np.linalg.LinAlgError:
+            return False
+        chol = np.zeros((n + m, n + m))
+        chol[:n, :n] = self._chol
+        chol[n:, :n] = W.T
+        chol[n:, n:] = L_s
+        self._chol = chol
+        self.X_train_ = np.vstack([self.X_train_, X])
+        self.y_train_ = np.concatenate([self.y_train_, y_std_new])
+        z = solve_triangular(self._chol, self.y_train_, lower=True)
+        self._alpha = solve_triangular(self._chol.T, z, lower=False)
+        total = n + m
+        self.log_marginal_likelihood_ = -(
+            0.5 * float(self.y_train_ @ self._alpha)
+            + float(np.sum(np.log(np.diag(self._chol))))
+            + 0.5 * total * math.log(2.0 * math.pi)
+        )
+        return True
 
     # -- prediction ------------------------------------------------------------------------
 
@@ -183,6 +313,11 @@ class GaussianProcessRegression:
     def is_fitted(self) -> bool:
         """Whether the model has been fitted."""
         return self._alpha is not None
+
+    @property
+    def num_training_points(self) -> int:
+        """Size of the (possibly incrementally grown) training set."""
+        return 0 if self.X_train_ is None else int(self.X_train_.shape[0])
 
     def predict(
         self, X: np.ndarray, return_std: bool = False
@@ -205,3 +340,13 @@ class GaussianProcessRegression:
         """Predict mean and std for a single feature vector."""
         mean, std = self.predict(np.atleast_2d(x), return_std=True)
         return float(mean[0]), float(std[0])
+
+    def predict_mean_one(self, x: np.ndarray) -> float:
+        """Predictive mean only for a single feature vector.
+
+        Skips the triangular solve the predictive variance needs — the
+        mean is one kernel row times the cached ``alpha`` — so hot-path
+        callers that never look at the uncertainty (the per-event Beta
+        progress distributions) do O(n·d) work instead of O(n²).
+        """
+        return float(self.predict(np.atleast_2d(x))[0])

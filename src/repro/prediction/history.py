@@ -103,7 +103,15 @@ class HistoryStore:
 
     def add_completed_job(self, job: Job) -> int:
         """Harvest a completed job's log; returns the number of examples added."""
-        examples = examples_from_job(job)
+        return self.add_completed_examples(examples_from_job(job))
+
+    def add_completed_examples(self, examples: Sequence[TrainingExample]) -> int:
+        """Fold one completed job's pre-harvested examples into the pool.
+
+        Split out from :meth:`add_completed_job` so callers that also
+        need the raw examples (the predictor's incremental GPR update)
+        harvest the job log exactly once.
+        """
         self._completed_jobs += 1
         self.add_examples(examples)
         return len(examples)

@@ -1,4 +1,4 @@
-"""The cluster simulator.
+"""The cluster simulator facade.
 
 The simulator is a discrete-event loop over four event kinds:
 
@@ -19,23 +19,43 @@ re-configuration overhead during which it holds its GPUs but makes no
 progress — elastic (≈1 s) for ONES, checkpoint-based (≈10–22 s) for the
 baselines, plus a uniform cold-start cost when a job is (re)started from
 an idle state.
+
+Since the kernel refactor, :class:`ClusterSimulator` is a *facade* over
+three collaborating layers (see the package docstring of
+:mod:`repro.sim` for the full map):
+
+* :class:`~repro.sim.kernel.SimulationKernel` — clock, event heap,
+  max-event/max-time guards, handler dispatch;
+* :class:`~repro.sim.ledger.ProgressLedger` — vectorized per-job
+  rate/progress state, advanced with array expressions over the running
+  jobs only and lazily materialized back into ``Job`` objects;
+* :mod:`repro.sim.handlers` — per-event-kind strategy objects holding
+  the domain logic, shared by ONES and every baseline.
+
+The facade keeps the historical public surface (constructor signature,
+``run()``, ``now`` / ``jobs`` / ``allocation``, the ``_apply_allocation``
+and ``_handle_*`` entry points used by white-box tests) so schedulers
+and experiments are unaffected by the layering.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.cluster.allocation import Allocation
 from repro.cluster.events import Event, EventKind, EventQueue
 from repro.cluster.topology import ClusterTopology
-from repro.jobs.job import Job, JobSpec, JobStatus
+from repro.jobs.job import Job, JobSpec
 from repro.jobs.throughput import ThroughputModel
 from repro.baselines.base import ClusterState, SchedulerBase
 from repro.scaling.overhead import OverheadModel, ReconfigurationKind
+from repro.sim.handlers import default_handlers
+from repro.sim.kernel import SimulationKernel
+from repro.sim.ledger import ProgressLedger
+from repro.sim.profiling import SimProfile
 from repro.utils.validation import check_non_negative, check_positive
 
 
@@ -58,6 +78,12 @@ class SimulationConfig:
     min_progress_rate:
         Guard against pathological configurations: a running job must
         make at least this many samples/second or the simulator raises.
+    collect_profile:
+        Record per-phase wall-clock (ledger advance, per-event-kind
+        handler time, scheduler-reported phases such as GPR refits) into
+        ``SimulationResult.profile``.  Off by default: wall-clock is
+        host-specific, so profiled artifacts are not reproducible across
+        machines.
     """
 
     max_time: float = 48 * 3600.0
@@ -65,6 +91,7 @@ class SimulationConfig:
     allreduce_efficiency: float = 0.7
     min_progress_rate: float = 1e-6
     max_events: int = 2_000_000
+    collect_profile: bool = False
 
     def __post_init__(self) -> None:
         check_positive(self.max_time, "max_time")
@@ -76,7 +103,7 @@ class SimulationConfig:
 
     # -- serialization (used by declarative experiment specs) ---------------------------
 
-    def to_dict(self) -> Dict[str, float]:
+    def to_dict(self) -> Dict[str, object]:
         """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
         return {
             "max_time": float(self.max_time),
@@ -84,10 +111,11 @@ class SimulationConfig:
             "allreduce_efficiency": float(self.allreduce_efficiency),
             "min_progress_rate": float(self.min_progress_rate),
             "max_events": int(self.max_events),
+            "collect_profile": bool(self.collect_profile),
         }
 
     @classmethod
-    def from_dict(cls, payload: Dict[str, float]) -> "SimulationConfig":
+    def from_dict(cls, payload: Dict[str, object]) -> "SimulationConfig":
         """Rebuild a :class:`SimulationConfig` from :meth:`to_dict` output."""
         return cls(
             max_time=float(payload["max_time"]),
@@ -95,6 +123,7 @@ class SimulationConfig:
             allreduce_efficiency=float(payload["allreduce_efficiency"]),
             min_progress_rate=float(payload["min_progress_rate"]),
             max_events=int(payload["max_events"]),
+            collect_profile=bool(payload.get("collect_profile", False)),
         )
 
 
@@ -112,6 +141,11 @@ class SimulationResult:
     num_reconfigurations: int
     events_processed: int
     jobs: Dict[str, Job] = field(default_factory=dict, repr=False)
+    #: Flat profiling table, populated only when the run was configured
+    #: with ``collect_profile=True``.  ``*_seconds`` keys are per-phase
+    #: wall-clock; ``events_<kind>`` keys are per-event-kind counts
+    #: (floats for JSON uniformity) — do not sum the dict as seconds.
+    profile: Dict[str, float] = field(default_factory=dict, repr=False)
 
     # -- metric views -------------------------------------------------------------------
 
@@ -182,6 +216,7 @@ class SimulationResult:
             "gpu_time_total": float(self.gpu_time_total),
             "num_reconfigurations": int(self.num_reconfigurations),
             "events_processed": int(self.events_processed),
+            "profile": {key: float(value) for key, value in self.profile.items()},
         }
 
     @classmethod
@@ -200,10 +235,20 @@ class SimulationResult:
             gpu_time_total=float(payload["gpu_time_total"]),
             num_reconfigurations=int(payload["num_reconfigurations"]),
             events_processed=int(payload["events_processed"]),
+            profile={
+                key: float(value)
+                for key, value in payload.get("profile", {}).items()
+            },
         )
 
-    def summary(self) -> Dict[str, float]:
-        """Headline numbers used by reports."""
+    def summary(self) -> Dict[str, object]:
+        """Headline numbers used by reports.
+
+        Values are heterogeneous by design: the scheduler name is a
+        string, the job/reconfiguration counts are ints, everything else
+        a float — see the keyed consumers in ``analysis.export`` and
+        ``experiments.report``.
+        """
         return {
             "scheduler": self.scheduler_name,
             "num_gpus": self.num_gpus,
@@ -244,50 +289,60 @@ class ClusterSimulator:
         self.trace = sorted(trace, key=lambda s: (s.arrival_time, s.job_id))
         self._spec_index = {spec.job_id: spec for spec in self.trace}
         # runtime state
-        self.now: float = 0.0
         self.jobs: Dict[str, Job] = {}
         self.allocation: Allocation = Allocation.empty()
-        self._events = EventQueue()
-        self._job_throughput: Dict[str, float] = {}
-        self._progress_resume: Dict[str, float] = {}
-        self._last_progress: Dict[str, float] = {}
+        self.ledger = ProgressLedger(capacity=len(self.trace))
+        self.profile: Optional[SimProfile] = (
+            SimProfile() if self.config.collect_profile else None
+        )
+        self.handlers = default_handlers(self)
+        self.kernel = SimulationKernel(
+            max_time=self.config.max_time,
+            max_events=self.config.max_events,
+            advance_hook=self._on_advance,
+            done=self._all_done,
+            handlers=self.handlers,
+            profile=self.profile,
+        )
         self._num_reconfigs = 0
         self._busy_gpu_time = 0.0
-        self._last_busy_update = 0.0
-        self._events_processed = 0
+
+    # -- kernel views -------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (the kernel's clock)."""
+        return self.kernel.now
+
+    @property
+    def _events(self) -> EventQueue:
+        """The kernel's event queue (kept under the historical name)."""
+        return self.kernel.events
+
+    @property
+    def _events_processed(self) -> int:
+        return self.kernel.events_processed
 
     # -- public API ---------------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
         """Run the simulation to completion (or the configured time limit)."""
         for spec in self.trace:
-            self._events.push(
+            self.kernel.push(
                 Event(time=spec.arrival_time, kind=EventKind.JOB_ARRIVAL, job_id=spec.job_id)
             )
         if self.scheduler.timer_interval is not None:
             first = self.trace[0].arrival_time + self.scheduler.timer_interval
-            self._events.push(Event(time=first, kind=EventKind.TIMER))
-
-        while self._events and self._events_processed < self.config.max_events:
-            event = self._events.pop()
-            if event.time > self.config.max_time:
-                break
-            self._events_processed += 1
-            self._advance_time(event.time)
-            if event.kind is EventKind.JOB_ARRIVAL:
-                self._handle_arrival(event)
-            elif event.kind is EventKind.EPOCH_END:
-                self._handle_epoch_end(event)
-            elif event.kind is EventKind.TIMER:
-                self._handle_timer(event)
-            # JOB_COMPLETION / RECONFIG_DONE are folded into the handlers above.
-            if self._all_done():
-                break
+            self.kernel.push(Event(time=first, kind=EventKind.TIMER))
+        self.kernel.run()
         return self._build_result()
 
     # -- state snapshots ------------------------------------------------------------------------
 
     def _state(self) -> ClusterState:
+        # Scheduler callbacks may read any job, so flush the ledger's
+        # pending progress into the Job objects first.
+        self.ledger.materialize_all()
         return ClusterState(
             now=self.now,
             topology=self.topology,
@@ -303,81 +358,39 @@ class ClusterSimulator:
 
     # -- time advancement --------------------------------------------------------------------------
 
-    def _advance_time(self, to_time: float) -> None:
-        if to_time < self.now - 1e-9:
-            raise RuntimeError(
-                f"time went backwards: {self.now} -> {to_time} (event ordering bug)"
-            )
-        to_time = max(to_time, self.now)
-        # GPU busy-time accounting.
+    def _on_advance(self, to_time: float) -> None:
+        """Kernel advance hook: GPU busy-time accounting + ledger progress."""
         busy_gpus = len(self.allocation.used_gpus())
-        self._busy_gpu_time += busy_gpus * (to_time - self._last_busy_update)
-        self._last_busy_update = to_time
-        # Advance every running job's progress.
-        for job_id, job in self.jobs.items():
-            if not job.is_running:
-                self._last_progress[job_id] = to_time
-                continue
-            rate = self._job_throughput.get(job_id, 0.0)
-            start = max(
-                self._last_progress.get(job_id, to_time),
-                self._progress_resume.get(job_id, 0.0),
-            )
-            duration = max(0.0, to_time - start)
-            if duration > 0 and rate > 0:
-                job.advance(rate * duration, duration)
-            self._last_progress[job_id] = to_time
-        self.now = to_time
+        self._busy_gpu_time += busy_gpus * (to_time - self.kernel.now)
+        self.ledger.advance_to(to_time)
 
-    # -- event handlers -------------------------------------------------------------------------------
+    def _advance_time(self, to_time: float) -> None:
+        """Advance the clock (historical entry point; kernel-guarded)."""
+        self.kernel.advance(to_time)
 
-    def _handle_arrival(self, event: Event) -> None:
-        spec = self._spec_index[event.job_id]
+    # -- event handlers (thin delegates into the strategy objects) ---------------------------------
+
+    def admit_job(self, job_id: str) -> Job:
+        """Create the :class:`Job` for an arriving spec and register it."""
+        spec = self._spec_index[job_id]
         job = Job(spec)
         self.jobs[spec.job_id] = job
-        self._last_progress[spec.job_id] = self.now
-        proposal = self.scheduler.on_job_arrival(job, self._state())
-        if proposal is not None:
-            self._apply_allocation(proposal)
+        self.ledger.register(job, self.now)
+        return job
+
+    def _handle_arrival(self, event: Event) -> None:
+        self.handlers[EventKind.JOB_ARRIVAL].handle(event)
 
     def _handle_epoch_end(self, event: Event) -> None:
-        job = self.jobs.get(event.job_id)
-        if job is None or not job.is_running:
-            return
-        if event.generation != job.generation:
-            return  # stale event from before a re-configuration
-        # Snap tiny floating-point drift onto the epoch boundary so epochs
-        # are not double-counted.
-        boundary = round(job.samples_processed / job.dataset_size) * job.dataset_size
-        if boundary > 0 and abs(job.samples_processed - boundary) < 0.5:
-            job.samples_processed = float(boundary)
-        record = job.complete_epoch(self.now)
-        if job.is_converged:
-            self._complete_job(job)
-            return
-        proposal = self.scheduler.on_epoch_end(job, record, self._state())
-        if proposal is not None:
-            self._apply_allocation(proposal)
-        if job.is_running and event.generation == job.generation:
-            # Configuration unchanged: schedule the next epoch boundary.
-            self._schedule_epoch_end(job)
+        self.handlers[EventKind.EPOCH_END].handle(event)
 
     def _handle_timer(self, event: Event) -> None:
-        proposal = self.scheduler.on_timer(self._state())
-        if proposal is not None:
-            self._apply_allocation(proposal)
-        if self.scheduler.timer_interval is not None and not self._all_done():
-            self._events.push(
-                Event(
-                    time=self.now + self.scheduler.timer_interval,
-                    kind=EventKind.TIMER,
-                )
-            )
+        self.handlers[EventKind.TIMER].handle(event)
 
     def _complete_job(self, job: Job) -> None:
         job.mark_completed(self.now)
-        self._job_throughput.pop(job.job_id, None)
-        self._progress_resume.pop(job.job_id, None)
+        self.ledger.clear_runtime(job.job_id)
+        self.ledger.pull(job)
         # Remove the job's workers from the deployed allocation.
         mapping = {
             gpu: worker
@@ -405,8 +418,8 @@ class ClusterSimulator:
                 # Preemption: release the job's GPUs.
                 if job.is_running:
                     job.stop_running(self.now)
-                self._job_throughput.pop(job_id, None)
-                self._progress_resume.pop(job_id, None)
+                self.ledger.clear_runtime(job_id)
+                self.ledger.pull(job)
                 continue
             was_running = job.is_running
             old_workers = job.num_gpus
@@ -421,8 +434,8 @@ class ClusterSimulator:
             )
             job.record_reconfiguration(overhead)
             self._num_reconfigs += 1
-            self._progress_resume[job_id] = self.now + overhead
-            self._last_progress[job_id] = self.now
+            self.ledger.pull(job)
+            self.ledger.set_resume(job_id, self.now + overhead, self.now)
             rate = self.throughput_model.throughput(
                 job.spec.model, list(new_config.local_batches), list(new_config.gpu_ids)
             )
@@ -431,7 +444,7 @@ class ClusterSimulator:
                     f"configuration of job {job_id} yields throughput {rate:.3g} "
                     f"samples/s which is below the progress guard"
                 )
-            self._job_throughput[job_id] = rate
+            self.ledger.set_rate(job_id, rate)
         self.allocation = proposal
         # Re-schedule epoch boundaries for every re-configured running job.
         for job_id in sorted(changed):
@@ -473,16 +486,16 @@ class ClusterSimulator:
     # -- epoch-boundary scheduling ----------------------------------------------------------------------
 
     def _schedule_epoch_end(self, job: Job) -> None:
-        rate = self._job_throughput.get(job.job_id, 0.0)
+        rate = self.ledger.rate_of(job.job_id)
         if rate <= 0:
             return
         into_epoch = job.samples_processed % job.dataset_size
         remaining = job.dataset_size - into_epoch
         if remaining <= 0.5:
             remaining = job.dataset_size
-        resume_at = max(self.now, self._progress_resume.get(job.job_id, 0.0))
+        resume_at = max(self.now, self.ledger.resume_of(job.job_id))
         eta = resume_at + remaining / rate
-        self._events.push(
+        self.kernel.push(
             Event(
                 time=eta,
                 kind=EventKind.EPOCH_END,
@@ -494,6 +507,7 @@ class ClusterSimulator:
     # -- result assembly -------------------------------------------------------------------------------------
 
     def _build_result(self) -> SimulationResult:
+        self.ledger.materialize_all()
         completed = {
             job_id: job.completion_metrics()
             for job_id, job in self.jobs.items()
@@ -505,6 +519,13 @@ class ClusterSimulator:
             if spec.job_id not in completed
         ]
         makespan = self.now - self.trace[0].arrival_time if self.jobs else 0.0
+        profile: Dict[str, float] = {}
+        if self.profile is not None:
+            reporter = getattr(self.scheduler, "profile_phases", None)
+            if callable(reporter):
+                for phase, seconds in reporter().items():
+                    self.profile.record(str(phase), float(seconds))
+            profile = self.profile.as_dict()
         return SimulationResult(
             scheduler_name=self.scheduler.name,
             num_gpus=self.topology.num_gpus,
@@ -514,8 +535,9 @@ class ClusterSimulator:
             gpu_time_busy=self._busy_gpu_time,
             gpu_time_total=self.topology.num_gpus * max(makespan, 1e-9),
             num_reconfigurations=self._num_reconfigs,
-            events_processed=self._events_processed,
+            events_processed=self.kernel.events_processed,
             jobs=dict(self.jobs),
+            profile=profile,
         )
 
 

@@ -126,6 +126,42 @@ class TestSweepCommand:
         payload = json.loads(json_path.read_text())
         assert set(payload) == {"8", "12"}
 
+    def test_multi_trace_grid_via_traces_flag(self, tmp_path, capsys):
+        json_path = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "--capacities", "8", "--schedulers", "fifo",
+            "--traces", "3", "5", "--arrival-interval", "10", "--seeds", "4",
+            "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # one cell per (scheduler, capacity, seed, trace)
+        assert "2 cells: 2 executed" in out
+        # multi-trace sweeps persist the full artifact (legacy export has
+        # no trace axis)
+        payload = json.loads(json_path.read_text())
+        assert len(payload["spec"]["traces"]) == 2
+        assert len(payload["runs"]) == 2
+
+    def test_traces_flag_deduplicates(self, capsys):
+        code = main([
+            "sweep", "--capacities", "8", "--schedulers", "fifo",
+            "--traces", "3", "3", "--arrival-interval", "10", "--seeds", "4",
+        ])
+        assert code == 0
+        assert "1 cells: 1 executed" in capsys.readouterr().out
+
+    def test_profile_flag_prints_phase_table(self, capsys):
+        code = main([
+            "sweep", "--capacities", "8", "--schedulers", "fifo",
+            "--jobs", "3", "--arrival-interval", "10", "--seeds", "4",
+            "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-phase wall-clock" in out
+        assert "advance_s" in out
+
 
 class TestSchedulersCommand:
     def test_cli_sees_schedulers_registered_after_import(self, capsys):

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.prediction.gpr import GaussianProcessRegression, rbf_kernel
+from repro.prediction.gpr import (
+    GaussianProcessRegression,
+    rbf_kernel,
+    squared_distances,
+)
 
 
 class TestRBFKernel:
@@ -82,3 +86,138 @@ class TestFitPredict:
     def test_invalid_config(self):
         with pytest.raises(ValueError):
             GaussianProcessRegression(noise_variance=0.0)
+
+    def test_predict_mean_one_matches_predict_one_mean(self, smooth_data):
+        X, y = smooth_data
+        model = GaussianProcessRegression(random_state=0).fit(X, y)
+        for x in X[:5]:
+            assert model.predict_mean_one(x) == model.predict_one(x)[0]
+
+
+class TestNLLGradient:
+    def test_gradient_matches_finite_differences_with_underflowed_pairs(self):
+        # Two clusters far enough apart that the RBF kernel underflows to
+        # exactly 0.0 between them at a small length scale: the old
+        # log-recovered squared distances clamped those pairs and zeroed
+        # their (real) contribution to the length-scale gradient.
+        rng = np.random.default_rng(3)
+        X = np.vstack([rng.normal(0.0, 0.3, size=(6, 2)),
+                       rng.normal(90.0, 0.3, size=(6, 2))])
+        y = np.concatenate([np.zeros(6), np.ones(6)])
+        model = GaussianProcessRegression()
+        log_params = np.log([1.5, 1.2, 0.3])
+        assert (rbf_kernel(X[:6], X[6:], 1.5, 1.2) == 0.0).all()  # underflow
+        _, grad = model._nll_and_grad(log_params, X, y)
+        eps = 1e-6
+        for i in range(3):
+            bump = np.zeros(3)
+            bump[i] = eps
+            hi = model._nll_value(log_params + bump, X, y)
+            lo = model._nll_value(log_params - bump, X, y)
+            numeric = (hi - lo) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_nll_value_matches_nll_and_grad_value(self, smooth_data):
+        X, y = smooth_data
+        model = GaussianProcessRegression()
+        log_params = np.log([1.0, 1.0, 0.1])
+        assert model._nll_value(log_params, X, y) == model._nll_and_grad(
+            log_params, X, y
+        )[0]
+
+    def test_squared_distances_are_exact(self):
+        a = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert np.allclose(squared_distances(a, a), [[0.0, 25.0], [25.0, 0.0]])
+
+
+class TestSubsampleSeeding:
+    def test_successive_refits_see_different_subsamples(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = X[:, 0] + rng.normal(scale=0.1, size=300)
+        model = GaussianProcessRegression(
+            max_training_points=50, optimize_hyperparameters=False, random_state=0
+        )
+        model.fit(X, y)
+        first = model.X_train_.copy()
+        model.fit(X, y)
+        second = model.X_train_.copy()
+        assert not np.array_equal(first, second)
+
+    def test_first_fit_reproduces_the_historical_subsample(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = X[:, 0] + rng.normal(scale=0.1, size=300)
+        model = GaussianProcessRegression(
+            max_training_points=50, optimize_hyperparameters=False, random_state=7
+        ).fit(X, y)
+        keep = np.random.default_rng(7).choice(300, size=50, replace=False)
+        assert np.array_equal(model.X_train_, X[keep])
+
+    def test_fresh_instances_stay_deterministic(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = X[:, 0] + rng.normal(scale=0.1, size=300)
+        a = GaussianProcessRegression(
+            max_training_points=50, optimize_hyperparameters=False, random_state=3
+        ).fit(X, y)
+        b = GaussianProcessRegression(
+            max_training_points=50, optimize_hyperparameters=False, random_state=3
+        ).fit(X, y)
+        assert np.array_equal(a.X_train_, b.X_train_)
+
+
+class TestPartialFit:
+    def _data(self, rng, n):
+        X = np.sort(rng.uniform(-3, 3, size=(n, 1)), axis=0)
+        y = np.sin(X[:, 0]) * 3.0 + rng.normal(scale=0.05, size=n)
+        return X, y
+
+    def test_rank_one_append_matches_full_refit(self, rng):
+        X, y = self._data(rng, 40)
+        incremental = GaussianProcessRegression(
+            optimize_hyperparameters=False, normalize_y=False, random_state=0
+        ).fit(X[:30], y[:30])
+        assert incremental.partial_fit(X[30:], y[30:])
+        full = GaussianProcessRegression(
+            optimize_hyperparameters=False, normalize_y=False, random_state=0
+        ).fit(X, y)
+        assert np.allclose(incremental._chol, full._chol, atol=1e-8)
+        assert np.allclose(incremental._alpha, full._alpha, atol=1e-8)
+        assert incremental.log_marginal_likelihood_ == pytest.approx(
+            full.log_marginal_likelihood_, rel=1e-9
+        )
+        probe = np.linspace(-3, 3, 17)[:, None]
+        a_mean, a_std = incremental.predict(probe, return_std=True)
+        b_mean, b_std = full.predict(probe, return_std=True)
+        assert np.allclose(a_mean, b_mean, atol=1e-8)
+        assert np.allclose(a_std, b_std, atol=1e-8)
+
+    def test_unfitted_model_refuses(self, rng):
+        X, y = self._data(rng, 5)
+        assert not GaussianProcessRegression().partial_fit(X, y)
+
+    def test_cap_refuses(self, rng):
+        X, y = self._data(rng, 20)
+        model = GaussianProcessRegression(
+            max_training_points=22, optimize_hyperparameters=False
+        ).fit(X, y)
+        assert not model.partial_fit(X[:5], y[:5])  # 20 + 5 > 22
+        assert model.num_training_points == 20  # untouched
+        assert model.partial_fit(X[:2], y[:2])
+        assert model.num_training_points == 22
+
+    def test_empty_append_is_a_noop(self, rng):
+        X, y = self._data(rng, 10)
+        model = GaussianProcessRegression(optimize_hyperparameters=False).fit(X, y)
+        assert model.partial_fit(np.empty((0, 1)), np.empty(0))
+        assert model.num_training_points == 10
+
+    def test_normalized_targets_round_trip(self, rng):
+        # normalize_y freezes (mean, scale) at the last full fit; appended
+        # targets reuse them, and predictions stay in the original units.
+        X, y = self._data(rng, 40)
+        y = y + 100.0
+        model = GaussianProcessRegression(
+            optimize_hyperparameters=False, random_state=0
+        ).fit(X[:30], y[:30])
+        assert model.partial_fit(X[30:], y[30:])
+        pred = model.predict(X)
+        assert np.mean(np.abs(pred - y)) < 1.0

@@ -1,5 +1,7 @@
 """Tests for repro.sim.simulator."""
 
+import json
+
 import pytest
 
 from repro.baselines.fifo import FIFOScheduler
@@ -108,6 +110,29 @@ class TestResultViews:
         assert summary["scheduler"] == "FIFO"
         assert summary["completed_jobs"] == len(tiny_trace)
         assert summary["average_jct"] > 0
+
+    def test_summary_round_trips_with_declared_types(self, small_topology, tiny_trace):
+        """The summary keys feed `analysis.export` / `experiments.report`:
+        heterogeneous by design (str scheduler, int counts, float metrics)
+        and stable through both JSON and the result's dict round-trip."""
+        result = ClusterSimulator(small_topology, FIFOScheduler(), tiny_trace).run()
+        summary = result.summary()
+        assert set(summary) == {
+            "scheduler", "num_gpus", "completed_jobs", "incomplete_jobs",
+            "average_jct", "average_execution_time", "average_queuing_time",
+            "makespan", "gpu_utilization", "reconfigurations",
+        }
+        assert isinstance(summary["scheduler"], str)
+        for key in ("num_gpus", "completed_jobs", "incomplete_jobs", "reconfigurations"):
+            assert isinstance(summary[key], int), key
+        for key in ("average_jct", "average_execution_time", "average_queuing_time",
+                    "makespan", "gpu_utilization"):
+            assert isinstance(summary[key], float), key
+        # JSON round-trip preserves every value bit-for-bit.
+        assert json.loads(json.dumps(summary)) == summary
+        # A result rebuilt from its serialized form reports the same summary.
+        clone = SimulationResult.from_dict(result.to_dict())
+        assert clone.summary() == summary
 
     def test_metric_vectors_aligned(self, small_topology, tiny_trace):
         result = ClusterSimulator(small_topology, FIFOScheduler(), tiny_trace).run()
