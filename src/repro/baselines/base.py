@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -62,6 +62,14 @@ class ClusterState:
     exact for ``now``.  Do *not* stash ``Job`` references and read their
     progress outside a callback: between events they may lag behind the
     ledger until the next materialization point.
+
+    Availability contract: ``unavailable_gpus`` holds the GPUs of nodes
+    that are currently down (fault injection,
+    :mod:`repro.faults`).  Schedulers must place workers only on
+    *available* GPUs — :meth:`available_gpu_ids` and :meth:`free_gpus`
+    already exclude the down ones, so policies built on them are
+    fault-aware for free; the simulator rejects any proposal touching an
+    unavailable GPU.
     """
 
     now: float
@@ -69,6 +77,7 @@ class ClusterState:
     throughput_model: ThroughputModel
     allocation: Allocation
     jobs: Dict[str, Job]
+    unavailable_gpus: FrozenSet[int] = frozenset()
 
     # -- job views ------------------------------------------------------------------
 
@@ -91,9 +100,22 @@ class ClusterState:
         }
         return dict(sorted(pending.items(), key=lambda kv: (kv[1].arrival_time, kv[0])))
 
+    def available_gpu_ids(self) -> List[int]:
+        """GPU ids that are physically up (ascending); the schedulable set."""
+        if not self.unavailable_gpus:
+            return [int(g) for g in self.topology.all_gpu_ids()]
+        return [
+            int(g)
+            for g in self.topology.all_gpu_ids()
+            if int(g) not in self.unavailable_gpus
+        ]
+
     def free_gpus(self) -> List[int]:
-        """Idle GPU ids under the currently-deployed allocation."""
-        return self.allocation.free_gpus(self.topology.all_gpu_ids())
+        """Idle *and available* GPU ids under the deployed allocation."""
+        free = self.allocation.free_gpus(self.topology.all_gpu_ids())
+        if not self.unavailable_gpus:
+            return free
+        return [g for g in free if g not in self.unavailable_gpus]
 
     # -- throughput helpers -----------------------------------------------------------
 
@@ -156,6 +178,18 @@ class SchedulerBase(abc.ABC):
 
     def on_timer(self, state: ClusterState) -> Optional[Allocation]:
         """Periodic rescheduling tick (only fired when ``timer_interval`` is set)."""
+        return None
+
+    def on_fault(self, state: ClusterState) -> Optional[Allocation]:
+        """The cluster's capacity just changed (node down or back up).
+
+        Called by the fault handlers *after* affected jobs have been
+        evicted and ``state`` reflects the new availability.  Concrete
+        schedulers override this to run their normal rescheduling pass
+        (the whole point of the fault harness is that recovery flows
+        through the same policy logic as scheduling); the default keeps
+        the current allocation and waits for the next regular event.
+        """
         return None
 
     # -- convenience -----------------------------------------------------------------------

@@ -48,7 +48,10 @@ NUM_ACTION_FEATURES = 8
 
 def action_features(job: Job, num_gpus: int, state: ClusterState) -> np.ndarray:
     """Feature vector of the action "launch ``job`` with ``num_gpus`` workers"."""
-    total = state.topology.num_gpus
+    # Occupancy is measured against the *available* capacity, so the
+    # policy's features stay meaningful while nodes are down (O(1): this
+    # runs once per candidate action per decision step).
+    total = state.topology.num_gpus - len(state.unavailable_gpus)
     free = len(state.free_gpus())
     waited = max(0.0, state.now - job.arrival_time)
     return np.array(
@@ -148,6 +151,11 @@ class DRLScheduler(SchedulerBase):
     def on_epoch_end(
         self, job: Job, record: EpochRecord, state: ClusterState
     ) -> Optional[Allocation]:
+        return self._act(state)
+
+    def on_fault(self, state: ClusterState) -> Optional[Allocation]:
+        # The policy only ever launches onto idle GPUs, so recovery is
+        # one more decision step over the shrunken (or restored) pool.
         return self._act(state)
 
     # -- one decision ------------------------------------------------------------------------------

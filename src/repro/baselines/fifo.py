@@ -49,10 +49,15 @@ class FIFOScheduler(SchedulerBase):
         # FIFO never reacts to progress updates.
         return None
 
+    def on_fault(self, state: ClusterState) -> Optional[Allocation]:
+        # Evicted jobs rejoin the queue at their original arrival rank;
+        # recovery is just another fill pass over the surviving GPUs.
+        return self._fill(state)
+
     def _fill(self, state: ClusterState) -> Optional[Allocation]:
         """Launch pending jobs in arrival order while they fit."""
         allocation = state.allocation
-        free = allocation.free_gpus(state.topology.all_gpu_ids())
+        free = allocation.free_gpus(state.available_gpu_ids())
         changed = False
         for job in state.pending_jobs().values():
             want = job.spec.requested_gpus

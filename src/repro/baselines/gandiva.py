@@ -97,6 +97,11 @@ class GandivaScheduler(SchedulerBase):
     def on_timer(self, state: ClusterState) -> Optional[Allocation]:
         return self._reslice(state)
 
+    def on_fault(self, state: ClusterState) -> Optional[Allocation]:
+        # Start a fresh slicing round over the surviving GPUs right away
+        # instead of waiting out the current quantum.
+        return self._reslice(state)
+
     # -- the round-robin slicing round -----------------------------------------------------------
 
     def _round_robin_order(self, state: ClusterState) -> List[Job]:
@@ -114,7 +119,7 @@ class GandivaScheduler(SchedulerBase):
         if not order:
             return None
         allocation = Allocation.empty()
-        free = list(state.topology.all_gpu_ids())
+        free = state.available_gpu_ids()
 
         # First keep well-placed running jobs where they are (avoids
         # pointless checkpoint/restart churn), as long as they keep their

@@ -141,9 +141,9 @@ class OptimusScheduler(SchedulerBase):
         if num_gpus <= 0:
             return 0.0
         local = user_local_batch(job)
-        gpus = pick_gpus_packed(
-            state.topology, list(state.topology.all_gpu_ids()), num_gpus
-        )
+        gpus = pick_gpus_packed(state.topology, state.available_gpu_ids(), num_gpus)
+        if len(gpus) < num_gpus:
+            return 0.0
         return state.throughput_model.throughput(job.spec.model, [local] * num_gpus, gpus)
 
     # -- event callbacks ----------------------------------------------------------------------------------
@@ -160,13 +160,21 @@ class OptimusScheduler(SchedulerBase):
         # Arrivals wait for the next scheduling round as well.
         return None
 
+    def on_fault(self, state: ClusterState) -> Optional[Allocation]:
+        # A capacity change is worth an immediate greedy round: the
+        # periodic interval is tuned for workload drift, not for losing
+        # (or regaining) whole servers.
+        return self._reschedule(state)
+
     # -- the greedy round ------------------------------------------------------------------------------------
 
     def _reschedule(self, state: ClusterState) -> Optional[Allocation]:
         jobs = list(state.active_jobs().values())
         if not jobs:
             return None
-        num_gpus = state.topology.num_gpus
+        num_gpus = len(state.available_gpu_ids())
+        if num_gpus == 0:
+            return None
         remaining = {j.job_id: self.estimate_remaining_samples(j) for j in jobs}
 
         # Start from one GPU per job (arrival order) for fairness.
@@ -207,7 +215,7 @@ class OptimusScheduler(SchedulerBase):
     ) -> Optional[Allocation]:
         """Materialise GPU counts into an allocation, minimising churn."""
         allocation = Allocation.empty()
-        free = list(state.topology.all_gpu_ids())
+        free = state.available_gpu_ids()
         # First pass: jobs whose GPU count is unchanged keep their placement.
         moved: List[Job] = []
         for job in sorted(jobs, key=lambda j: (j.arrival_time, j.job_id)):

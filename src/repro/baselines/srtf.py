@@ -56,6 +56,10 @@ class SRTFScheduler(SchedulerBase):
             return self._reschedule(state)
         return None
 
+    def on_fault(self, state: ClusterState) -> Optional[Allocation]:
+        # Capacity changed: re-rank everything over the surviving GPUs.
+        return self._reschedule(state)
+
     # -- oracle remaining time -------------------------------------------------------------
 
     def _remaining_time(self, job: Job, state: ClusterState) -> float:
@@ -80,7 +84,7 @@ class SRTFScheduler(SchedulerBase):
             return None
         order = sorted(jobs, key=lambda j: (self._remaining_time(j, state), j.arrival_time))
         allocation = Allocation.empty()
-        free = list(state.topology.all_gpu_ids())
+        free = state.available_gpu_ids()
         for job in order:
             want = job.spec.requested_gpus
             if want > len(free):

@@ -96,6 +96,11 @@ class TiresiasScheduler(SchedulerBase):
             return self._reschedule(state)
         return None
 
+    def on_fault(self, state: ClusterState) -> Optional[Allocation]:
+        # Evicted jobs keep their attained service, so they re-enter the
+        # 2D-LAS order exactly where the queues place them.
+        return self._reschedule(state)
+
     # -- core policy -------------------------------------------------------------------------------
 
     def _priority_order(self, state: ClusterState) -> List[Job]:
@@ -109,7 +114,7 @@ class TiresiasScheduler(SchedulerBase):
     def _reschedule(self, state: ClusterState) -> Optional[Allocation]:
         order = self._priority_order(state)
         allocation = Allocation.empty()
-        free = list(state.topology.all_gpu_ids())
+        free = state.available_gpu_ids()
         for job in order:
             want = job.spec.requested_gpus
             if want > len(free):

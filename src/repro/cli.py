@@ -16,9 +16,18 @@ Installed as the ``repro-ones`` console script (also runnable as
     (and optionally several seeds).
 ``schedulers``
     List every scheduler in the registry with its Table-3 capabilities.
+``fault-profiles``
+    List the registered fault-injection profiles (``mtbf``, ``rack``,
+    ``maintenance``, ``stragglers``, ...).
 ``figures``
     Regenerate the analytic figures (2, 3, 13, 14, 16) without running
     cluster simulations.
+
+``compare`` and ``sweep`` accept ``--faults <profile>`` (or
+``--faults-file plan.json``): the grid then runs every cell twice — once
+clean, once under the seeded fault plan — and reports recovery metrics
+(goodput, evictions, restarts, lost GPU-seconds) plus the JCT
+degradation of each scheduler against its zero-fault twin.
 
 ``compare`` and ``sweep`` are built on the declarative orchestration
 API: the grid is an :class:`~repro.experiments.spec.ExperimentSpec`
@@ -56,6 +65,7 @@ from repro.experiments.registry import (
 )
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.backends import simulate_trace
+from repro.faults import FaultConfig, available_profiles, profile_table
 from repro.sim.simulator import SimulationConfig
 from repro.workload.replay import load_trace, save_trace, trace_statistics
 from repro.workload.trace import TraceConfig, TraceGenerator
@@ -132,9 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist per-cell artifacts, sweep JSON and report here")
     compare.add_argument("--resume", action="store_true",
                          help="reuse cell artifacts cached in --output-dir")
+    compare.add_argument("--cell-timeout", type=float, default=None, metavar="SECONDS",
+                         help="kill any cell attempt exceeding this wall-clock budget")
+    compare.add_argument("--cell-retries", type=int, default=0, metavar="N",
+                         help="retry a timed-out / failed cell up to N extra times")
     compare.add_argument("--profile", action="store_true",
                          help="record per-phase wall-clock in every cell artifact "
                               "and print a summary")
+    _add_fault_arguments(compare)
     compare.add_argument("--csv", type=Path, default=None)
     compare.add_argument("--json", type=Path, default=None)
     compare.add_argument("--report", type=Path, default=None,
@@ -158,20 +173,68 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist per-cell artifacts, sweep JSON and report here")
     sweep.add_argument("--resume", action="store_true",
                        help="reuse cell artifacts cached in --output-dir")
+    sweep.add_argument("--cell-timeout", type=float, default=None, metavar="SECONDS",
+                       help="kill any cell attempt exceeding this wall-clock budget")
+    sweep.add_argument("--cell-retries", type=int, default=0, metavar="N",
+                       help="retry a timed-out / failed cell up to N extra times")
     sweep.add_argument("--profile", action="store_true",
                        help="record per-phase wall-clock (ledger advance, handlers, "
                             "GPR refits) in every cell artifact and print a summary")
+    _add_fault_arguments(sweep)
     sweep.add_argument("--json", type=Path, default=None)
 
     scheds = sub.add_parser("schedulers", help="list the scheduler registry (Table 3)")
     scheds.add_argument("--paper-only", action="store_true",
                         help="only the four schedulers of the paper's comparison")
 
+    sub.add_parser("fault-profiles",
+                   help="list the registered fault-injection profiles")
+
     figs = sub.add_parser("figures", help="regenerate the analytic figures (2, 3, 13, 14, 16)")
     figs.add_argument("--which", choices=["fig2", "fig3", "fig13", "fig14", "fig16", "all"],
                       default="all")
 
     return parser
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--faults*`` flags of ``compare`` and ``sweep``."""
+    group = parser.add_argument_group(
+        "fault injection",
+        "run every cell twice — clean and under a deterministic fault plan — "
+        "and report recovery metrics vs the zero-fault twin",
+    )
+    group.add_argument("--faults", choices=sorted(available_profiles()) + ["none"],
+                       default="none", metavar="PROFILE",
+                       help="fault profile to inject (see `repro-ones fault-profiles`; "
+                            "default: none)")
+    group.add_argument("--faults-file", type=Path, default=None,
+                       help="replay an explicit fault plan from JSON "
+                            "(overrides --faults)")
+    group.add_argument("--fault-seed", type=int, default=2021,
+                       help="seed of the fault plan's own RNG (independent of the "
+                            "workload seed)")
+    group.add_argument("--fault-mtbf-hours", type=float, default=2.0,
+                       help="mean time between failures per node/rack")
+    group.add_argument("--fault-repair-minutes", type=float, default=15.0,
+                       help="mean repair / maintenance-window duration")
+
+
+def _fault_config(args) -> Optional[FaultConfig]:
+    """The fault config implied by the CLI flags (``None`` when disabled)."""
+    if getattr(args, "faults_file", None):
+        return FaultConfig.from_plan_file(
+            args.faults_file, seed=args.fault_seed
+        )
+    profile = getattr(args, "faults", "none")
+    if not profile or profile == "none":
+        return None
+    return FaultConfig(
+        profile=profile,
+        seed=args.fault_seed,
+        mtbf_hours=args.fault_mtbf_hours,
+        repair_minutes=args.fault_repair_minutes,
+    )
 
 
 def _canonical_names(names: Optional[Sequence[str]]) -> List[str]:
@@ -197,13 +260,48 @@ def _experiment_spec(args, capacities: Sequence[int], seeds: Sequence[int]) -> E
         for jobs in _dedupe(job_counts)
     )
     simulation = SimulationConfig(collect_profile=bool(getattr(args, "profile", False)))
+    fault = _fault_config(args)
     return ExperimentSpec(
         schedulers=_dedupe(_canonical_names(args.schedulers)),
         capacities=_dedupe(capacities),
         seeds=_dedupe(seeds),
         traces=traces,
         simulation=simulation,
+        # A faulted grid always carries the zero-fault twin of every
+        # cell, so recovery metrics have a baseline to compare against.
+        faults=(None, fault) if fault is not None else (None,),
     )
+
+
+def _print_recovery_summary(sweep) -> None:
+    """Recovery tables printed by faulted ``compare`` / ``sweep`` runs."""
+    if len(sweep.spec.faults) < 2:
+        return
+    fault = sweep.spec.faults[1]
+    print()
+    print(f"Fault injection: {fault.describe()} "
+          f"(plan key {fault.config_key()[:8]}, twin cells included)")
+    degradation = sweep.fault_degradation("jct")
+    print("JCT degradation vs zero-fault twin (1.0 = fully absorbed):")
+    for name, ratio in sorted(degradation.items(), key=lambda kv: kv[1]):
+        print(f"  {name:10s}: {ratio:5.2f}x")
+    rows = [
+        {
+            "cell": row["cell"],
+            "avg_jct": round(row["average_jct"], 1),
+            "goodput": round(row["goodput"], 3),
+            "evict": row["evictions"],
+            "restart": row["restarts"],
+            "lost_gpu_s": round(row["lost_gpu_seconds"], 1),
+            "down_gpu_s": round(row["downtime_gpu_seconds"], 1),
+            "incomplete": row["incomplete"],
+        }
+        for row in sweep.recovery_table()
+    ]
+    if rows:
+        print()
+        print("Recovery metrics (faulted cells)")
+        print(format_table(rows))
 
 
 def _print_profile_summary(sweep) -> None:
@@ -232,7 +330,9 @@ def _make_runner(args) -> Runner:
     cache_dir = args.output_dir / "cells" if args.output_dir else None
     backend = "process" if args.workers and args.workers > 1 else "serial"
     return Runner(backend=backend, workers=args.workers if backend == "process" else None,
-                  cache_dir=cache_dir)
+                  cache_dir=cache_dir,
+                  timeout_s=getattr(args, "cell_timeout", None),
+                  max_retries=getattr(args, "cell_retries", 0))
 
 
 # --- sub-command implementations ---------------------------------------------------------------
@@ -300,6 +400,7 @@ def cmd_compare(args) -> int:
         from repro.experiments.report import write_comparison_report
 
         print(f"markdown report written to {write_comparison_report(comparison, args.report)}")
+    _print_recovery_summary(sweep)
     if args.profile:
         _print_profile_summary(sweep)
     if args.output_dir:
@@ -329,11 +430,12 @@ def cmd_sweep(args) -> int:
         print("Relative JCT, ONES = 1.0 (Fig. 18)")
         print(ascii_series(capacities, rel_series, x_label="# GPUs"))
     if args.json:
-        if len(spec.seeds) == 1 and len(spec.traces) == 1:
+        if len(spec.seeds) == 1 and len(spec.traces) == 1 and len(spec.faults) == 1:
             print(f"sweep written to {export_sweep_json(sweep.to_comparisons(), args.json)}")
         else:
             args.json.write_text(sweep.to_json() + "\n")
             print(f"sweep artifact written to {args.json}")
+    _print_recovery_summary(sweep)
     if args.profile:
         _print_profile_summary(sweep)
     if args.output_dir:
@@ -360,6 +462,12 @@ def cmd_schedulers(args) -> int:
         rows = [row for row in rows if row["Scheduler"] in wanted]
     print("Registered schedulers (Table 3 capabilities):")
     print(format_table(rows))
+    return 0
+
+
+def cmd_fault_profiles(args) -> int:
+    print("Registered fault profiles (use with `compare`/`sweep --faults NAME`):")
+    print(format_table(profile_table()))
     return 0
 
 
@@ -420,6 +528,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "schedulers": cmd_schedulers,
+        "fault-profiles": cmd_fault_profiles,
         "figures": cmd_figures,
     }
     return handlers[args.command](args)

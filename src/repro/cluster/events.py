@@ -21,13 +21,23 @@ from typing import Any, Iterator, Optional
 
 
 class EventKind(enum.IntEnum):
-    """Kinds of simulation events, ordered by tie-break priority."""
+    """Kinds of simulation events, ordered by tie-break priority.
+
+    The fault kinds are appended *after* the historical members so every
+    pre-existing same-timestamp ordering is unchanged (zero-fault runs
+    stay bit-identical).  Among the fault kinds, a ``NODE_DOWN`` at time
+    ``t`` is applied before a ``NODE_UP`` at the same instant, so a
+    coincident outage hand-off never observes both nodes up at once.
+    """
 
     JOB_COMPLETION = 0
     JOB_ARRIVAL = 1
     EPOCH_END = 2
     RECONFIG_DONE = 3
     TIMER = 4
+    NODE_DOWN = 5
+    NODE_UP = 6
+    GPU_DEGRADED = 7
 
 
 @dataclass(frozen=True, order=False)

@@ -172,7 +172,23 @@ class EvolutionarySearch:
     # -- population lifecycle -------------------------------------------------------------------
 
     def ensure_population(self, ctx: EvolutionContext, current: Optional[Schedule]) -> None:
-        """(Re)initialise the population if empty or the roster changed."""
+        """(Re)initialise the population if empty or the roster changed.
+
+        A *width* change — the schedulable GPU count differs from the
+        population's genome length, which happens when fault injection
+        takes nodes down or brings them back
+        (:mod:`repro.faults.masking`) — discards the population: the old
+        candidates describe placements on a cluster that no longer
+        exists.  On a static cluster this branch never fires.
+        """
+        if self._genomes is not None and self._genomes.shape[1] != ctx.num_gpus:
+            self._genomes = None
+            self._genome_roster = None
+        if (
+            len(self._members) > 0
+            and self._members.members[0].genome.shape[0] != ctx.num_gpus
+        ):
+            self._members = Population()
         size = self.config.resolved_population_size(ctx.num_gpus)
         if self._genomes is not None:
             if self._genome_roster != ctx.roster:

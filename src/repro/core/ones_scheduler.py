@@ -83,6 +83,9 @@ class ONESScheduler(SchedulerBase):
         self.search = EvolutionarySearch(self.config.evolution, seed=self._rng)
         self._epochs_at_last_update: Dict[str, int] = {}
         self._has_deployed: bool = False
+        #: Virtual (compacted) topologies per down-node set, so repeated
+        #: events during one outage reuse the same instances.
+        self._virtual_clusters: Dict[frozenset, Tuple] = {}
         self._throughput_memo = BoundedMemo(self.config.throughput_memo_entries)
         self.last_throughput_table: Optional[ThroughputTable] = None
         self.num_full_updates: int = 0
@@ -107,6 +110,15 @@ class ONESScheduler(SchedulerBase):
         self.predictor.observe_completion(job)
         self.limiter.forget(job.job_id)
         self._epochs_at_last_update.pop(job.job_id, None)
+        return self._evolve_and_maybe_deploy(state)
+
+    def on_fault(self, state: ClusterState) -> Optional[Allocation]:
+        """Capacity changed: evolve a schedule for the surviving cluster.
+
+        Recovery is the same evolutionary pass as every other event —
+        the elastic advantage the paper claims is precisely that ONES
+        can re-spread jobs without checkpoint/restart cycles.
+        """
         return self._evolve_and_maybe_deploy(state)
 
     # ------------------------------------------------------------------ context plumbing
@@ -188,6 +200,36 @@ class ONESScheduler(SchedulerBase):
         }
 
     def _evolve_and_maybe_deploy(self, state: ClusterState) -> Optional[Allocation]:
+        masked = state.unavailable_gpus
+        if masked:
+            if len(masked) >= state.topology.num_gpus:
+                # Transient blackout (only reachable through a
+                # hand-written plan with a coincident outage hand-off):
+                # nothing to schedule onto until a NODE_UP restores
+                # capacity an instant later.
+                return None
+            # Down nodes: evolve over a dense *virtual* cluster of the
+            # surviving servers (node compaction preserves placement
+            # locality exactly on the homogeneous star fabric), then map
+            # the winning allocation back to real GPU ids.  The genome
+            # layer never has to learn about holes in the id space.
+            view = self._compact_view(state)
+            proposal = self._evolve_on(view.state)
+            return view.expand(proposal) if proposal is not None else None
+        return self._evolve_on(state)
+
+    def _compact_view(self, state: ClusterState):
+        from repro.faults.masking import compact_state, virtual_cluster
+
+        key = state.unavailable_gpus
+        cached = self._virtual_clusters.get(key)
+        if cached is None:
+            cached = virtual_cluster(state)
+            self._virtual_clusters[key] = cached
+        topology, model = cached
+        return compact_state(state, topology, model)
+
+    def _evolve_on(self, state: ClusterState) -> Optional[Allocation]:
         active = state.active_jobs()
         if not active:
             return None

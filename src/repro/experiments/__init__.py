@@ -26,7 +26,9 @@ The public API for producing every table and figure of the paper:
 
 from repro.experiments.artifacts import RunArtifact, SweepArtifact
 from repro.experiments.backends import (
+    CellTimeoutError,
     ExecutionBackend,
+    ExecutionPolicy,
     ProcessPoolBackend,
     SerialBackend,
     execute_run,
@@ -66,7 +68,9 @@ __all__ = [
     "RunArtifact",
     "SweepArtifact",
     # backends
+    "CellTimeoutError",
     "ExecutionBackend",
+    "ExecutionPolicy",
     "SerialBackend",
     "ProcessPoolBackend",
     "make_backend",

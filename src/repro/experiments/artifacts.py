@@ -77,6 +77,16 @@ class RunArtifact:
         """Mean of one per-job metric (``jct`` / ``execution_time`` / ``queuing_time``)."""
         return mean_metric(self.result, metric)
 
+    @property
+    def recovery(self) -> Dict[str, float]:
+        """Recovery metrics of a faulted cell (empty for zero-fault cells).
+
+        Keys come from :meth:`repro.faults.runtime.FaultRuntime.metrics`:
+        ``goodput``, ``lost_gpu_seconds``, ``evictions``, ``restarts``,
+        ``downtime_gpu_seconds``, ...
+        """
+        return dict(self.result.faults)
+
     def to_result(self) -> SimulationResult:
         """The underlying (job-less) simulation result."""
         return self.result
@@ -128,13 +138,23 @@ class SweepArtifact:
     # -- cell lookup --------------------------------------------------------------------
 
     def _index(self) -> Dict[tuple, RunArtifact]:
-        """One O(runs) pass building ``(scheduler, capacity, seed, trace) -> artifact``.
+        """One O(runs) pass building ``(scheduler, capacity, seed, trace, faults) -> artifact``.
 
         Built per call (the ``runs`` list is mutable) so aggregations over
-        large grids stay linear instead of scanning once per cell.
+        large grids stay linear instead of scanning once per cell.  The
+        final key component is the cell's
+        :class:`~repro.faults.config.FaultConfig` (``None`` for the
+        zero-fault grid), so faulted cells and their clean twins never
+        collide.
         """
         return {
-            (run.spec.scheduler, run.spec.num_gpus, run.spec.seed, run.spec.trace): run
+            (
+                run.spec.scheduler,
+                run.spec.num_gpus,
+                run.spec.seed,
+                run.spec.trace,
+                run.spec.faults,
+            ): run
             for run in self.runs
         }
 
@@ -144,41 +164,59 @@ class SweepArtifact:
         capacity: Optional[int] = None,
         seed: Optional[int] = None,
         trace_index: int = 0,
+        fault_index: int = 0,
     ) -> RunArtifact:
-        """The artifact of one cell (defaults: first capacity / first seed)."""
+        """The artifact of one cell (defaults: first capacity / seed / fault)."""
         capacity = int(capacity if capacity is not None else self.spec.capacities[0])
         seed = int(seed if seed is not None else self.spec.seeds[0])
         trace = self.spec.traces[trace_index]
-        run = self._index().get((scheduler, capacity, seed, trace))
+        fault = self.spec.faults[fault_index]
+        run = self._index().get((scheduler, capacity, seed, trace, fault))
         if run is None:
             raise KeyError(
                 f"no cell for scheduler={scheduler!r} capacity={capacity} "
-                f"seed={seed} trace_index={trace_index}"
+                f"seed={seed} trace_index={trace_index} fault_index={fault_index}"
             )
         return run
 
     def results_for(
-        self, capacity: int, seed: Optional[int] = None, trace_index: int = 0
+        self,
+        capacity: int,
+        seed: Optional[int] = None,
+        trace_index: int = 0,
+        fault_index: int = 0,
     ) -> Dict[str, SimulationResult]:
-        """Per-scheduler results of one (capacity, seed, trace) slice, keyed by registry name."""
+        """Per-scheduler results of one (capacity, seed, trace, fault) slice."""
         index = self._index()
         capacity = int(capacity)
         seed = int(seed if seed is not None else self.spec.seeds[0])
         trace = self.spec.traces[trace_index]
+        fault = self.spec.faults[fault_index]
         return {
-            name: index[(name, capacity, seed, trace)].to_result()
+            name: index[(name, capacity, seed, trace, fault)].to_result()
             for name in self.spec.schedulers
         }
 
     # -- aggregation (Fig. 17/18 views) -------------------------------------------------
 
-    def mean_metric_table(self, metric: str = "jct") -> Dict[str, Dict[int, float]]:
-        """``scheduler -> capacity -> mean(metric)`` averaged over seeds and traces."""
+    def mean_metric_table(
+        self, metric: str = "jct", fault_index: int = 0
+    ) -> Dict[str, Dict[int, float]]:
+        """``scheduler -> capacity -> mean(metric)`` averaged over seeds and traces.
+
+        One fault-axis slice at a time (default: the first entry, which
+        is the zero-fault grid in every built-in construction) so a
+        robustness sweep never silently mixes clean and faulted runs
+        into one Fig. 17 table.
+        """
+        fault = self.spec.faults[fault_index]
         table: Dict[str, Dict[int, List[float]]] = {
             name: {capacity: [] for capacity in self.spec.capacities}
             for name in self.spec.schedulers
         }
         for run in self.runs:
+            if run.spec.faults != fault:
+                continue
             table[run.spec.scheduler][run.spec.num_gpus].append(run.mean(metric))
         return {
             name: {
@@ -190,17 +228,19 @@ class SweepArtifact:
         }
 
     def relative_to(
-        self, reference: str = "ONES", metric: str = "jct"
+        self, reference: str = "ONES", metric: str = "jct", fault_index: int = 0
     ) -> Dict[str, Dict[int, float]]:
         """``scheduler -> capacity -> metric / reference-metric`` (Fig. 18 shape).
 
         The ratio is taken per (trace, seed, capacity) slice — i.e. against
-        the reference run that saw exactly the same workload — and then
+        the reference run that saw exactly the same workload (and the
+        same fault weather, selected by ``fault_index``) — and then
         averaged over seeds and traces.
         """
         if reference not in self.spec.schedulers:
             raise KeyError(f"{reference!r} is not part of this sweep")
         index = self._index()
+        fault = self.spec.faults[fault_index]
         ratios: Dict[str, Dict[int, List[float]]] = {
             name: {capacity: [] for capacity in self.spec.capacities}
             for name in self.spec.schedulers
@@ -208,14 +248,14 @@ class SweepArtifact:
         for trace in self.spec.traces:
             for capacity in self.spec.capacities:
                 for seed in self.spec.seeds:
-                    ref = index[(reference, capacity, seed, trace)].mean(metric)
+                    ref = index[(reference, capacity, seed, trace, fault)].mean(metric)
                     if not ref > 0:
                         raise ValueError(
                             f"reference mean {metric} must be positive "
                             f"(capacity={capacity}, seed={seed})"
                         )
                     for name in self.spec.schedulers:
-                        value = index[(name, capacity, seed, trace)].mean(metric)
+                        value = index[(name, capacity, seed, trace, fault)].mean(metric)
                         ratios[name][capacity].append(value / ref)
         return {
             name: {
@@ -226,9 +266,70 @@ class SweepArtifact:
             for name, by_capacity in ratios.items()
         }
 
+    # -- recovery aggregation (robustness-benchmark views) ------------------------------
+
+    def fault_degradation(
+        self, metric: str = "jct", fault_index: int = 1
+    ) -> Dict[str, float]:
+        """``scheduler -> mean(metric under faults / metric of zero-fault twin)``.
+
+        The JCT-degradation headline of a robustness benchmark: 1.0 means
+        the scheduler fully absorbed the fault plan, 1.5 means average
+        JCT grew 50% under it.  Each faulted cell is compared against the
+        cell that differs *only* in its fault config (same scheduler,
+        capacity, seed and trace), then ratios are averaged.  Requires a
+        sweep whose fault axis contains both the zero-fault entry and the
+        selected faulted entry (the built-in constructors' ``faults=``
+        argument produces exactly that).
+        """
+        fault = self.spec.faults[fault_index]
+        if fault is None:
+            raise ValueError("fault_index selects the zero-fault axis entry")
+        if None not in self.spec.faults:
+            raise ValueError("sweep has no zero-fault twin cells to compare against")
+        index = self._index()
+        ratios: Dict[str, List[float]] = {name: [] for name in self.spec.schedulers}
+        for trace in self.spec.traces:
+            for capacity in self.spec.capacities:
+                for seed in self.spec.seeds:
+                    for name in self.spec.schedulers:
+                        clean = index[(name, capacity, seed, trace, None)].mean(metric)
+                        faulted = index[(name, capacity, seed, trace, fault)].mean(metric)
+                        if clean > 0:
+                            ratios[name].append(faulted / clean)
+        return {
+            name: float(sum(values) / len(values))
+            for name, values in ratios.items()
+            if values
+        }
+
+    def recovery_table(self, fault_index: int = 1) -> List[Dict[str, object]]:
+        """Per-cell recovery metrics of one faulted slice (report rows)."""
+        fault = self.spec.faults[fault_index]
+        if fault is None:
+            raise ValueError("fault_index selects the zero-fault axis entry")
+        rows: List[Dict[str, object]] = []
+        for run in self.runs:
+            if run.spec.faults != fault:
+                continue
+            recovery = run.recovery
+            rows.append(
+                {
+                    "cell": run.spec.label(),
+                    "average_jct": run.mean("jct"),
+                    "goodput": recovery.get("goodput", float("nan")),
+                    "evictions": int(recovery.get("evictions", 0)),
+                    "restarts": int(recovery.get("restarts", 0)),
+                    "lost_gpu_seconds": recovery.get("lost_gpu_seconds", 0.0),
+                    "downtime_gpu_seconds": recovery.get("downtime_gpu_seconds", 0.0),
+                    "incomplete": len(run.result.incomplete),
+                }
+            )
+        return rows
+
     # -- legacy bridge ------------------------------------------------------------------
 
-    def to_comparisons(self) -> Dict[int, "ComparisonResult"]:
+    def to_comparisons(self, fault_index: int = 0) -> Dict[int, "ComparisonResult"]:
         """Per-capacity legacy ``ComparisonResult`` objects (report/export bridge).
 
         Only defined for single-seed single-trace sweeps — the legacy shape
@@ -245,6 +346,9 @@ class SweepArtifact:
             )
         seed = self.spec.seeds[0]
         trace_config = self.spec.traces[0]
+        # Robustness grids carry several fault-axis entries; the legacy
+        # shape has no fault dimension, so bridge one slice at a time.
+        fault = self.spec.faults[fault_index]
         index = self._index()
         comparisons: Dict[int, ComparisonResult] = {}
         shared_trace = None  # same for every capacity: depends on trace+seed only
@@ -252,14 +356,14 @@ class SweepArtifact:
             config = ExperimentConfig(
                 num_gpus=capacity,
                 trace=trace_config,
-                simulation=self.spec.simulation,
+                simulation=self.spec._cell_simulation(fault),
                 seed=seed,
             )
             if shared_trace is None:
                 shared_trace = generate_trace(config)
             comparison = ComparisonResult(config=config, trace=list(shared_trace))
             for name in self.spec.schedulers:
-                artifact = index[(name, capacity, seed, trace_config)]
+                artifact = index[(name, capacity, seed, trace_config, fault)]
                 comparison.results[name] = artifact.to_result()
                 comparison.artifacts[name] = artifact
             comparisons[capacity] = comparison

@@ -22,9 +22,11 @@ through: the legacy ``run_single``/``run_comparison`` shims call
 from __future__ import annotations
 
 import abc
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines.base import SchedulerBase
 from repro.cluster.topology import make_longhorn_cluster
@@ -89,21 +91,160 @@ def execute_run(
 ResultCallback = Callable[[int, RunArtifact], None]
 
 
+class CellTimeoutError(RuntimeError):
+    """One cell exceeded its per-cell wall-clock budget (all retries spent)."""
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Per-cell execution guard-rails applied by the backends.
+
+    ``timeout_s`` bounds one *attempt's* wall-clock: the cell runs in a
+    watchdogged child process that is terminated on overrun (so a
+    pathological cell cannot wedge a sweep).  ``max_retries`` re-runs a
+    cell after a timeout or an execution error, up to that many extra
+    attempts; determinism makes retries of a *logic* error futile, but a
+    loaded host can make an honest cell blow a tight timeout once.
+    """
+
+    timeout_s: Optional[float] = None
+    max_retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and float(self.timeout_s) <= 0:
+            raise ValueError("timeout_s must be positive (or None to disable)")
+        if int(self.max_retries) < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    @property
+    def is_default(self) -> bool:
+        """Whether the policy changes nothing (no timeout, no retries)."""
+        return self.timeout_s is None and self.max_retries == 0
+
+
+def _subprocess_cell_main(payload: Dict[str, object], conn) -> None:
+    """Child entry point of a watchdogged cell: artifact (or error) out."""
+    try:
+        conn.send(("ok", _execute_payload(payload)))
+    except BaseException as exc:  # noqa: BLE001 - marshalled to the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def execute_run_in_subprocess(spec: RunSpec, timeout_s: float) -> RunArtifact:
+    """Execute one cell in a child process with a hard wall-clock bound.
+
+    The child is terminated on overrun — this is the only portable way
+    to *stop* a running simulation, which is why timeouts imply
+    subprocess execution (and registry-named schedulers; resolvers
+    cannot cross the process boundary).  Artifacts come back as plain
+    dicts, exactly like the process-pool backend's, so they are
+    bit-identical to in-process execution.
+    """
+    ctx = multiprocessing.get_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_subprocess_cell_main, args=(spec.to_dict(), child_conn)
+    )
+    process.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(timeout_s):
+            raise CellTimeoutError(
+                f"cell {spec.label()} exceeded its {timeout_s:.1f}s budget"
+            )
+        status, payload = parent_conn.recv()
+    finally:
+        if process.is_alive():
+            process.terminate()
+        process.join()
+        parent_conn.close()
+    if status != "ok":
+        raise RuntimeError(f"cell {spec.label()} failed in its worker: {payload}")
+    return RunArtifact.from_dict(payload)
+
+
+class AttemptCounter:
+    """Mutable attempt bookkeeping updated *live* by the policy executor.
+
+    Counts survive a final failure (the counter is written before the
+    exception propagates), which is what lets ``RunnerStats`` report
+    honest timed-out counts even when a sweep aborts.
+    """
+
+    __slots__ = ("retries", "timeouts")
+
+    def __init__(self) -> None:
+        self.retries = 0
+        self.timeouts = 0
+
+
+def execute_run_with_policy(
+    spec: RunSpec,
+    policy: Optional[ExecutionPolicy],
+    resolver: Optional[SchedulerResolver] = None,
+    counter: Optional[AttemptCounter] = None,
+) -> RunArtifact:
+    """Execute one cell under a policy, recording attempts on ``counter``.
+
+    ``counter.retries`` counts extra attempts that were needed,
+    ``counter.timeouts`` the attempts that hit the wall-clock bound (a
+    retried timeout increments both).  The last attempt's failure
+    propagates unchanged once the retry budget is spent — with the
+    counter already updated.
+    """
+    counter = counter if counter is not None else AttemptCounter()
+    if policy is None or policy.is_default:
+        return execute_run(spec, resolver)
+    if policy.timeout_s is not None and resolver is not None:
+        raise ValueError(
+            "per-cell timeouts run cells in subprocesses, which resolve "
+            "schedulers via the registry only"
+        )
+    attempts = int(policy.max_retries) + 1
+    for attempt in range(attempts):
+        try:
+            if policy.timeout_s is not None:
+                return execute_run_in_subprocess(spec, policy.timeout_s)
+            return execute_run(spec, resolver)
+        except CellTimeoutError:
+            counter.timeouts += 1
+            if attempt + 1 >= attempts:
+                raise
+            counter.retries += 1
+        except Exception:
+            if attempt + 1 >= attempts:
+                raise
+            counter.retries += 1
+    raise AssertionError("unreachable: the attempt loop returns or raises")
+
+
 class ExecutionBackend(abc.ABC):
     """Strategy for executing a batch of cells; results keep input order."""
 
     #: Registry name used by :func:`make_backend` and the CLI.
     name: str = "backend"
+    #: Extra attempts the last :meth:`run` needed (policy bookkeeping).
+    last_run_retries: int = 0
+    #: Attempts of the last :meth:`run` that hit the per-cell timeout.
+    last_run_timeouts: int = 0
 
     @abc.abstractmethod
     def run(
-        self, specs: Sequence[RunSpec], on_result: Optional[ResultCallback] = None
+        self,
+        specs: Sequence[RunSpec],
+        on_result: Optional[ResultCallback] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> List[RunArtifact]:
         """Execute every cell and return one artifact per cell, in order.
 
         ``on_result`` fires as each cell completes, so callers (the
         Runner's cell cache) can persist progress before the whole batch
         is done — an interrupted sweep keeps its finished cells.
+        ``policy`` applies per-cell timeout/retry guard-rails; the
+        attempt counters land in ``last_run_retries`` /
+        ``last_run_timeouts`` for the Runner's stats.
         """
 
 
@@ -121,14 +262,26 @@ class SerialBackend(ExecutionBackend):
         self._resolver = resolver
 
     def run(
-        self, specs: Sequence[RunSpec], on_result: Optional[ResultCallback] = None
+        self,
+        specs: Sequence[RunSpec],
+        on_result: Optional[ResultCallback] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> List[RunArtifact]:
+        self.last_run_retries = 0
+        self.last_run_timeouts = 0
+        counter = AttemptCounter()
         artifacts: List[RunArtifact] = []
-        for index, spec in enumerate(specs):
-            artifact = execute_run(spec, self._resolver)
-            if on_result is not None:
-                on_result(index, artifact)
-            artifacts.append(artifact)
+        try:
+            for index, spec in enumerate(specs):
+                artifact = execute_run_with_policy(
+                    spec, policy, self._resolver, counter
+                )
+                if on_result is not None:
+                    on_result(index, artifact)
+                artifacts.append(artifact)
+        finally:
+            self.last_run_retries = counter.retries
+            self.last_run_timeouts = counter.timeouts
         return artifacts
 
 
@@ -139,6 +292,43 @@ def _execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
     as well as forked ones.
     """
     return execute_run(RunSpec.from_dict(payload)).to_dict()
+
+
+def _execute_payload_with_policy(
+    payload: Dict[str, object], policy: Optional[ExecutionPolicy]
+) -> Dict[str, object]:
+    """Pool-worker entry point applying the execution policy in the worker.
+
+    Timeout enforcement spawns a (grand)child process from the pool
+    worker — pool workers are non-daemonic on the supported Python
+    versions, so the watchdogged child is legal — and the attempt
+    counters ride back next to the artifact dict.  A final failure is
+    marshalled (not raised) so the counters survive; the parent
+    re-raises after accounting for them.
+    """
+    spec = RunSpec.from_dict(payload)
+    counter = AttemptCounter()
+    try:
+        artifact = execute_run_with_policy(spec, policy, counter=counter)
+    except CellTimeoutError as exc:
+        return {
+            "error": str(exc),
+            "timed_out": True,
+            "retries": counter.retries,
+            "timeouts": counter.timeouts,
+        }
+    except Exception as exc:  # noqa: BLE001 - marshalled to the parent
+        return {
+            "error": f"{type(exc).__name__}: {exc}",
+            "timed_out": False,
+            "retries": counter.retries,
+            "timeouts": counter.timeouts,
+        }
+    return {
+        "artifact": artifact.to_dict(),
+        "retries": counter.retries,
+        "timeouts": counter.timeouts,
+    }
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -158,24 +348,46 @@ class ProcessPoolBackend(ExecutionBackend):
         self.max_workers = None if max_workers is None else int(max_workers)
 
     def run(
-        self, specs: Sequence[RunSpec], on_result: Optional[ResultCallback] = None
+        self,
+        specs: Sequence[RunSpec],
+        on_result: Optional[ResultCallback] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> List[RunArtifact]:
         specs = list(specs)
+        self.last_run_retries = 0
+        self.last_run_timeouts = 0
         if not specs:
             return []
+        use_policy = policy is not None and not policy.is_default
         workers = self.max_workers or os.cpu_count() or 1
         workers = max(1, min(workers, len(specs)))
         artifacts: List[Optional[RunArtifact]] = [None] * len(specs)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_payload, spec.to_dict()): index
-                for index, spec in enumerate(specs)
-            }
+            if use_policy:
+                futures = {
+                    pool.submit(_execute_payload_with_policy, spec.to_dict(), policy): index
+                    for index, spec in enumerate(specs)
+                }
+            else:
+                futures = {
+                    pool.submit(_execute_payload, spec.to_dict()): index
+                    for index, spec in enumerate(specs)
+                }
             # Surface results (and persist them via on_result) as they
             # finish, not when the whole batch is done.
             for future in as_completed(futures):
                 index = futures[future]
-                artifact = RunArtifact.from_dict(future.result())
+                payload = future.result()
+                if use_policy:
+                    self.last_run_retries += int(payload["retries"])
+                    self.last_run_timeouts += int(payload["timeouts"])
+                    if "error" in payload:
+                        if payload["timed_out"]:
+                            raise CellTimeoutError(payload["error"])
+                        raise RuntimeError(payload["error"])
+                    artifact = RunArtifact.from_dict(payload["artifact"])
+                else:
+                    artifact = RunArtifact.from_dict(payload)
                 if on_result is not None:
                     on_result(index, artifact)
                 artifacts[index] = artifact

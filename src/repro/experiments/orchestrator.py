@@ -18,9 +18,17 @@ specs and the execution backends::
   them; only the missing cells are dispatched to the backend.  A cached
   file whose embedded spec does not match the cell (corruption, hash
   collision, hand editing) is ignored and the cell re-runs.
+* **Execution policy** — ``timeout_s`` bounds each cell attempt's
+  wall-clock (the cell runs in a watchdogged subprocess and is killed on
+  overrun) and ``max_retries`` re-runs a cell that timed out or errored,
+  up to that many extra attempts.  Exhausting the budget raises
+  (:class:`~repro.experiments.backends.CellTimeoutError` for timeouts);
+  attempt counts land in :attr:`RunnerStats.retried_cells` /
+  :attr:`RunnerStats.timed_out_cells` either way.
 
 After :meth:`Runner.run`, :attr:`Runner.stats` says how many cells were
-executed vs served from cache and how long the sweep took.
+executed vs served from cache, how many attempts were retried or timed
+out, and how long the sweep took.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.experiments.artifacts import RunArtifact, SweepArtifact
 from repro.experiments.backends import (
     ExecutionBackend,
+    ExecutionPolicy,
     SchedulerResolver,
     make_backend,
 )
@@ -44,12 +53,20 @@ PathLike = Union[str, Path]
 
 @dataclass(frozen=True)
 class RunnerStats:
-    """Bookkeeping of one :meth:`Runner.run` invocation."""
+    """Bookkeeping of one :meth:`Runner.run` invocation.
+
+    ``retried_cells`` counts extra attempts the execution policy spent
+    (a cell retried twice contributes two); ``timed_out_cells`` counts
+    attempts that hit the per-cell timeout (a timeout that a retry then
+    recovered still counts — it is a signal the budget is tight).
+    """
 
     total_cells: int = 0
     executed_cells: int = 0
     cached_cells: int = 0
     wall_time: float = 0.0
+    retried_cells: int = 0
+    timed_out_cells: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view for logs and reports."""
@@ -58,14 +75,22 @@ class RunnerStats:
             "executed_cells": self.executed_cells,
             "cached_cells": self.cached_cells,
             "wall_time": self.wall_time,
+            "retried_cells": self.retried_cells,
+            "timed_out_cells": self.timed_out_cells,
         }
 
     def describe(self) -> str:
         """One-line human-readable summary."""
-        return (
+        line = (
             f"{self.total_cells} cells: {self.executed_cells} executed, "
             f"{self.cached_cells} from cache in {self.wall_time:.1f}s"
         )
+        if self.retried_cells or self.timed_out_cells:
+            line += (
+                f" ({self.retried_cells} retried, "
+                f"{self.timed_out_cells} timed out)"
+            )
+        return line
 
 
 class Runner:
@@ -77,9 +102,12 @@ class Runner:
         workers: Optional[int] = None,
         cache_dir: Optional[PathLike] = None,
         resolver: Optional[SchedulerResolver] = None,
+        timeout_s: Optional[float] = None,
+        max_retries: int = 0,
     ) -> None:
         self.backend = make_backend(backend, workers=workers, resolver=resolver)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.policy = ExecutionPolicy(timeout_s=timeout_s, max_retries=max_retries)
         self.stats = RunnerStats()
 
     # -- public API ---------------------------------------------------------------------
@@ -98,24 +126,31 @@ class Runner:
                 pending.append(index)
         # Cells are cached the moment they complete (not after the whole
         # batch), so an interrupted sweep keeps its finished cells and a
-        # --resume only pays for what is actually missing.
-        fresh = self.backend.run(
-            [cells[index] for index in pending],
-            on_result=lambda _, artifact: self._store(artifact),
-        )
+        # --resume only pays for what is actually missing.  Stats are
+        # recorded even when a cell ultimately fails (try/finally), so a
+        # raised CellTimeoutError still leaves honest attempt counts.
+        try:
+            fresh = self.backend.run(
+                [cells[index] for index in pending],
+                on_result=lambda _, artifact: self._store(artifact),
+                policy=self.policy,
+            )
+        finally:
+            self.stats = RunnerStats(
+                total_cells=len(cells),
+                executed_cells=len(pending),
+                cached_cells=len(cells) - len(pending),
+                wall_time=time.perf_counter() - start,
+                retried_cells=self.backend.last_run_retries,
+                timed_out_cells=self.backend.last_run_timeouts,
+            )
         for index, artifact in zip(pending, fresh):
             artifacts[index] = artifact
-        self.stats = RunnerStats(
-            total_cells=len(cells),
-            executed_cells=len(pending),
-            cached_cells=len(cells) - len(pending),
-            wall_time=time.perf_counter() - start,
-        )
         return SweepArtifact(spec=spec, runs=list(artifacts))
 
     def run_cells(self, cells: Sequence[RunSpec]) -> List[RunArtifact]:
         """Execute an explicit list of cells (no grid, no cache), in order."""
-        return self.backend.run(list(cells))
+        return self.backend.run(list(cells), policy=self.policy)
 
     # -- cell cache ---------------------------------------------------------------------
 
@@ -153,8 +188,14 @@ def run_experiment(
     workers: Optional[int] = None,
     cache_dir: Optional[PathLike] = None,
     resume: bool = False,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 0,
 ) -> SweepArtifact:
     """One-shot convenience wrapper around :class:`Runner`."""
-    return Runner(backend=backend, workers=workers, cache_dir=cache_dir).run(
-        spec, resume=resume
-    )
+    return Runner(
+        backend=backend,
+        workers=workers,
+        cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+    ).run(spec, resume=resume)

@@ -23,6 +23,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from dataclasses import replace as _dc_replace
+
+from repro.faults.config import FaultConfig
 from repro.sim.simulator import SimulationConfig
 from repro.utils.validation import check_positive_int
 from repro.workload.trace import TraceConfig
@@ -30,7 +33,12 @@ from repro.workload.trace import TraceConfig
 #: Bumped whenever the serialized layout of specs/artifacts changes.
 #: v2: ``SimulationConfig.collect_profile`` + ``SimulationResult.profile``
 #: (per-phase wall-clock profiling threaded through run specs).
-SCHEMA_VERSION = 2
+#: v3: fault injection — optional ``FaultConfig`` inside
+#: ``SimulationConfig`` (and hence inside ``cell_key()``), a ``faults``
+#: grid axis on ``ExperimentSpec``, and recovery metrics in
+#: ``SimulationResult.faults``.  Zero-fault payloads are byte-identical
+#: to v2, so v2 cell keys (and cached artifacts) remain valid.
+SCHEMA_VERSION = 3
 
 
 def _canonical_json(payload: object) -> str:
@@ -65,7 +73,15 @@ class RunSpec:
 
     def label(self) -> str:
         """Compact human-readable cell label used in logs and progress lines."""
-        return f"{self.scheduler}@{self.num_gpus}g/seed{self.seed}"
+        label = f"{self.scheduler}@{self.num_gpus}g/seed{self.seed}"
+        if self.simulation.faults is not None:
+            label += f"/faults:{self.simulation.faults.describe()}"
+        return label
+
+    @property
+    def faults(self) -> Optional[FaultConfig]:
+        """The cell's fault configuration (``None`` for a zero-fault cell)."""
+        return self.simulation.faults
 
     # -- serialization ------------------------------------------------------------------
 
@@ -110,9 +126,17 @@ class ExperimentSpec:
     ``scheduler_options`` maps a scheduler name to the options every cell
     of that scheduler receives (e.g. scale ONES's population down for a
     smoke grid).  :meth:`expand` produces the cells in a fixed order —
-    traces (outer), capacities, seeds, schedulers (inner) — which is also
-    the execution/submission order of every backend, so results line up
-    deterministically regardless of how the grid is executed.
+    fault configs (outermost), then traces, capacities, seeds,
+    schedulers (inner) — which is also the execution/submission order of
+    every backend, so results line up deterministically regardless of
+    how the grid is executed.  The default ``faults`` axis is the single
+    entry ``None`` (no injection), under which the expansion — and every
+    cell key — is exactly the historical v2 grid.  Adding a
+    :class:`~repro.faults.config.FaultConfig` next to ``None`` turns any
+    experiment into a robustness benchmark: every faulted cell has its
+    zero-fault *twin* in the same sweep, which is what the recovery
+    aggregations on :class:`~repro.experiments.artifacts.SweepArtifact`
+    compare against.
     """
 
     schedulers: Tuple[str, ...]
@@ -121,6 +145,7 @@ class ExperimentSpec:
     traces: Tuple[TraceConfig, ...] = field(default_factory=lambda: (TraceConfig(),))
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
     scheduler_options: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    faults: Tuple[Optional[FaultConfig], ...] = (None,)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "schedulers", tuple(str(s) for s in self.schedulers))
@@ -128,6 +153,28 @@ class ExperimentSpec:
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
         traces = tuple(self.traces)
         object.__setattr__(self, "traces", traces)
+        # Disabled fault configs are the same cell as no fault config at
+        # all (SimulationConfig normalises them away) — fold them to None
+        # here so the duplicate check below sees the collision.
+        faults = tuple(
+            fault if fault is not None and fault.enabled else None
+            for fault in self.faults
+        )
+        if self.simulation.faults is not None:
+            # A fault config on the shared simulation is hoisted onto the
+            # faults axis, so every aggregation keyed by the axis (the
+            # SweepArtifact index, twin lookups, ...) sees it.  Expansion
+            # re-applies it per cell, so the cells are unchanged.
+            if faults != (None,):
+                raise ValueError(
+                    "set fault configs either on the faults axis or on the shared "
+                    "simulation config, not both"
+                )
+            faults = (self.simulation.faults,)
+            object.__setattr__(
+                self, "simulation", _dc_replace(self.simulation, faults=None)
+            )
+        object.__setattr__(self, "faults", faults)
         object.__setattr__(
             self,
             "scheduler_options",
@@ -138,6 +185,7 @@ class ExperimentSpec:
             ("capacities", self.capacities),
             ("seeds", self.seeds),
             ("traces", traces),
+            ("faults", faults),
         ):
             if not values:
                 raise ValueError(f"{label} must not be empty")
@@ -151,35 +199,54 @@ class ExperimentSpec:
 
     # -- grid expansion -----------------------------------------------------------------
 
+    def _cell_simulation(self, fault: Optional[FaultConfig]) -> SimulationConfig:
+        """The shared simulation config with one fault-axis value applied."""
+        if fault is None:
+            return self.simulation
+        return _dc_replace(self.simulation, faults=fault)
+
     def expand(self) -> List[RunSpec]:
         """The individual cells of the grid, in deterministic order."""
         cells: List[RunSpec] = []
-        for trace in self.traces:
-            for capacity in self.capacities:
-                for seed in self.seeds:
-                    for scheduler in self.schedulers:
-                        cells.append(
-                            RunSpec(
-                                scheduler=scheduler,
-                                num_gpus=capacity,
-                                seed=seed,
-                                trace=trace,
-                                simulation=self.simulation,
-                                scheduler_options=self.scheduler_options.get(scheduler, {}),
+        for fault in self.faults:
+            simulation = self._cell_simulation(fault)
+            for trace in self.traces:
+                for capacity in self.capacities:
+                    for seed in self.seeds:
+                        for scheduler in self.schedulers:
+                            cells.append(
+                                RunSpec(
+                                    scheduler=scheduler,
+                                    num_gpus=capacity,
+                                    seed=seed,
+                                    trace=trace,
+                                    simulation=simulation,
+                                    scheduler_options=self.scheduler_options.get(scheduler, {}),
+                                )
                             )
-                        )
         return cells
 
     @property
     def num_cells(self) -> int:
         """Size of the grid (``len(self.expand())`` without materialising it)."""
-        return len(self.schedulers) * len(self.capacities) * len(self.seeds) * len(self.traces)
+        return (
+            len(self.schedulers)
+            * len(self.capacities)
+            * len(self.seeds)
+            * len(self.traces)
+            * len(self.faults)
+        )
 
     # -- serialization ------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
-        return {
+        """Plain-JSON representation (round-trips through :meth:`from_dict`).
+
+        Like the cell serialization, the ``faults`` axis is only present
+        when it differs from the zero-fault default, so sweep keys of
+        historical grids are unchanged.
+        """
+        payload: Dict[str, object] = {
             "schema": SCHEMA_VERSION,
             "schedulers": list(self.schedulers),
             "capacities": list(self.capacities),
@@ -190,10 +257,16 @@ class ExperimentSpec:
                 name: dict(options) for name, options in self.scheduler_options.items()
             },
         }
+        if self.faults != (None,):
+            payload["faults"] = [
+                fault.to_dict() if fault is not None else None for fault in self.faults
+            ]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentSpec":
         """Rebuild an :class:`ExperimentSpec` from :meth:`to_dict` output."""
+        faults = payload.get("faults")
         return cls(
             schedulers=tuple(payload["schedulers"]),
             capacities=tuple(payload["capacities"]),
@@ -201,6 +274,12 @@ class ExperimentSpec:
             traces=tuple(TraceConfig.from_dict(t) for t in payload["traces"]),
             simulation=SimulationConfig.from_dict(payload["simulation"]),
             scheduler_options=payload.get("scheduler_options", {}),
+            faults=tuple(
+                FaultConfig.from_dict(entry) if entry is not None else None
+                for entry in faults
+            )
+            if faults is not None
+            else (None,),
         )
 
     def sweep_key(self) -> str:
@@ -219,11 +298,16 @@ class ExperimentSpec:
         trace: TraceConfig | None = None,
         simulation: SimulationConfig | None = None,
         scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
+        faults: "Optional[FaultConfig]" = None,
     ) -> "ExperimentSpec":
         """The paper's main comparison (Fig. 15 / Table 4) as a one-capacity grid.
 
         ``schedulers`` defaults to the registry's paper set (the Fig. 15
-        four), so the registry stays the single source of truth.
+        four), so the registry stays the single source of truth.  Passing
+        a ``faults`` config turns the comparison into a robustness
+        benchmark: the grid runs every scheduler twice, once clean and
+        once under the fault profile, so recovery metrics always have
+        their zero-fault twin.
         """
         return cls(
             schedulers=_default_schedulers(schedulers),
@@ -232,6 +316,7 @@ class ExperimentSpec:
             traces=(trace or TraceConfig(),),
             simulation=simulation or SimulationConfig(),
             scheduler_options=scheduler_options or {},
+            faults=_fault_axis(faults),
         )
 
     @classmethod
@@ -243,8 +328,13 @@ class ExperimentSpec:
         trace: TraceConfig | None = None,
         simulation: SimulationConfig | None = None,
         scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
+        faults: "Optional[FaultConfig]" = None,
     ) -> "ExperimentSpec":
-        """The Fig. 17/18 scalability sweep over cluster capacities."""
+        """The Fig. 17/18 scalability sweep over cluster capacities.
+
+        As with :meth:`comparison`, a ``faults`` config adds a faulted
+        twin of every cell next to the zero-fault grid.
+        """
         return cls(
             schedulers=_default_schedulers(schedulers),
             capacities=tuple(capacities),
@@ -252,7 +342,15 @@ class ExperimentSpec:
             traces=(trace or TraceConfig(),),
             simulation=simulation or SimulationConfig(),
             scheduler_options=scheduler_options or {},
+            faults=_fault_axis(faults),
         )
+
+
+def _fault_axis(faults: Optional[FaultConfig]) -> Tuple[Optional[FaultConfig], ...]:
+    """``None`` -> the zero-fault axis; a config -> (clean twin, faulted)."""
+    if faults is None or not faults.enabled:
+        return (None,)
+    return (None, faults)
 
 
 def _default_schedulers(schedulers: Optional[Sequence[str]]) -> tuple:

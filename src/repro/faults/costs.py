@@ -1,0 +1,57 @@
+"""Checkpoint/restart cost model for fault-evicted jobs.
+
+The simulator's jobs checkpoint *implicitly* at every epoch boundary —
+that is when workers upload progress to the scheduler (§3.1), and a
+state dict written at that point is the natural recovery line.  When a
+node failure evicts a job, two costs apply:
+
+* **Lost work** — the progress made since the last epoch boundary is
+  rolled back (scaled by ``lost_work_fraction``; 1.0 = everything since
+  the boundary is gone).  The destroyed samples, wall-clock and
+  GPU-seconds are charged to the run's recovery metrics.
+* **Restart delay** — the next time the job starts it pays a
+  checkpoint restore on top of the normal cold-start overhead.  The
+  delay is *per job class*: it reuses the per-model checkpoint path of
+  :class:`~repro.scaling.overhead.OverheadModel` (state-dict size over
+  storage bandwidth + framework restart + per-family data preparation),
+  scaled by ``restart_delay_multiplier``.
+
+Both knobs live on :class:`~repro.faults.config.FaultConfig`, so a cell
+fully determines its recovery economics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.scaling.overhead import OverheadModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jobs.job import Job
+
+
+@dataclass(frozen=True)
+class FaultCostModel:
+    """Lost-work and restart-delay charges for fault evictions."""
+
+    restart_delay_multiplier: float = 1.0
+    lost_work_fraction: float = 1.0
+
+    def lost_samples(self, job: "Job") -> float:
+        """Samples destroyed by evicting ``job`` right now.
+
+        Progress up to the last epoch boundary survives in the implicit
+        checkpoint; a configurable fraction of everything after it is
+        lost.
+        """
+        into_epoch = max(0.0, job.samples_into_current_epoch())
+        return into_epoch * self.lost_work_fraction
+
+    def restart_delay(self, job: "Job", overheads: OverheadModel) -> float:
+        """Checkpoint-restore seconds charged at the job's next start."""
+        if self.restart_delay_multiplier <= 0.0:
+            return 0.0
+        return self.restart_delay_multiplier * overheads.checkpoint_overhead(
+            job.spec.model
+        )

@@ -1,0 +1,207 @@
+"""Seeded fault-profile generators: reproducible cluster weather.
+
+Each profile turns a :class:`~repro.faults.config.FaultConfig` plus the
+cluster size and simulation horizon into a deterministic
+:class:`~repro.faults.plan.FaultPlan`.  Determinism contract: a profile
+may use **only** its own ``numpy`` generator (seeded from the config),
+sorted/integer iteration orders and the config's scalar parameters — no
+wall clock, no ``hash()``, no set/dict iteration over strings — so the
+same config produces a bit-identical plan in any process regardless of
+``PYTHONHASHSEED`` (pinned by ``tests/test_faults_plan.py``).
+
+Built-in profiles
+-----------------
+``mtbf``
+    Independent node failures: per-node exponential time-between-failures
+    (``mtbf_hours``) with exponential repair times (``repair_minutes``).
+    The classic memoryless hardware-failure model.
+``rack``
+    Correlated outages: nodes are grouped into racks of ``rack_size``
+    and a whole rack fails together (shared PSU / top-of-rack switch),
+    with rack-level exponential MTBF and a common repair time.
+``maintenance``
+    Planned rolling windows: every ``maintenance_interval_hours`` the
+    next node (round-robin) is drained for ``repair_minutes``.  No
+    randomness beyond a seeded phase offset.
+``stragglers``
+    No capacity loss: nodes intermittently degrade to
+    ``degrade_factor`` of their throughput for ``degrade_minutes``
+    (thermal throttling, noisy neighbours), then recover.
+
+New profiles self-register with :func:`register_profile` and become
+reachable from configs and the ``repro-ones fault-profiles`` listing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.faults.plan import (
+    FaultInjection,
+    FaultKind,
+    FaultPlan,
+    Outage,
+    assemble_plan,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config imports us)
+    from repro.faults.config import FaultConfig
+
+#: Profile signature: ``(config, num_nodes, horizon, rng) -> FaultPlan``.
+ProfileFn = Callable[["FaultConfig", int, float, np.random.Generator], FaultPlan]
+
+_PROFILES: Dict[str, Tuple[ProfileFn, str]] = {}
+
+
+class UnknownFaultProfileError(KeyError):
+    """Raised when a profile name does not resolve to a generator."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(
+            f"unknown fault profile {name!r}; available: "
+            f"{', '.join(available_profiles())}"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its repr by default
+        return self.args[0]
+
+
+def register_profile(
+    name: str, description: str = ""
+) -> Callable[[ProfileFn], ProfileFn]:
+    """Decorator registering a fault-profile generator under ``name``."""
+    key = str(name).lower()
+    if not key:
+        raise ValueError("profile name must be a non-empty string")
+
+    def decorator(fn: ProfileFn) -> ProfileFn:
+        if key in _PROFILES:
+            raise ValueError(f"fault profile {key!r} is already registered")
+        _PROFILES[key] = (fn, description)
+        return fn
+
+    return decorator
+
+
+def available_profiles() -> Tuple[str, ...]:
+    """Names of every registered profile, in registration order."""
+    return tuple(_PROFILES)
+
+
+def profile_table() -> List[Dict[str, str]]:
+    """``{profile, description}`` rows for the CLI listing."""
+    return [
+        {"profile": name, "description": description}
+        for name, (_, description) in _PROFILES.items()
+    ]
+
+
+def build_plan(config: "FaultConfig", num_nodes: int, horizon: float) -> FaultPlan:
+    """Generate the deterministic plan of ``config`` for one cluster/horizon.
+
+    Explicit injections on the config (a parsed JSON plan) take
+    precedence over the profile; the profile's RNG is seeded from the
+    config seed alone, so the plan depends only on
+    ``(config, num_nodes, horizon)``.
+    """
+    if config.injections:
+        plan = FaultPlan(tuple(config.injections))
+        plan.validate(num_nodes)
+        return plan
+    key = str(config.profile).lower()
+    if key in ("", "none"):
+        return FaultPlan()
+    entry = _PROFILES.get(key)
+    if entry is None:
+        raise UnknownFaultProfileError(config.profile)
+    rng = np.random.Generator(np.random.PCG64(int(config.seed)))
+    return entry[0](config, int(num_nodes), float(horizon), rng)
+
+
+# --- built-in profiles ---------------------------------------------------------------
+
+
+@register_profile("mtbf", "independent node failures (exponential MTBF + repair)")
+def _mtbf_profile(
+    config: "FaultConfig", num_nodes: int, horizon: float, rng: np.random.Generator
+) -> FaultPlan:
+    mtbf_s = config.mtbf_hours * 3600.0
+    repair_s = config.repair_minutes * 60.0
+    outages: List[Outage] = []
+    for node in range(num_nodes):
+        t = float(rng.exponential(mtbf_s))
+        while t < horizon:
+            down_for = max(30.0, float(rng.exponential(repair_s)))
+            outages.append(Outage(node, t, t + down_for))
+            t = t + down_for + float(rng.exponential(mtbf_s))
+    return assemble_plan(
+        outages, num_nodes=num_nodes, max_down_fraction=config.max_down_fraction
+    )
+
+
+@register_profile("rack", "correlated rack outages (whole racks fail together)")
+def _rack_profile(
+    config: "FaultConfig", num_nodes: int, horizon: float, rng: np.random.Generator
+) -> FaultPlan:
+    rack_size = max(1, int(config.rack_size))
+    mtbf_s = config.mtbf_hours * 3600.0
+    repair_s = config.repair_minutes * 60.0
+    num_racks = (num_nodes + rack_size - 1) // rack_size
+    outages: List[Outage] = []
+    for rack in range(num_racks):
+        members = list(range(rack * rack_size, min((rack + 1) * rack_size, num_nodes)))
+        t = float(rng.exponential(mtbf_s))
+        while t < horizon:
+            down_for = max(60.0, float(rng.exponential(repair_s)))
+            for node in members:
+                outages.append(Outage(node, t, t + down_for))
+            t = t + down_for + float(rng.exponential(mtbf_s))
+    return assemble_plan(
+        outages, num_nodes=num_nodes, max_down_fraction=config.max_down_fraction
+    )
+
+
+@register_profile("maintenance", "rolling planned-maintenance windows (round-robin)")
+def _maintenance_profile(
+    config: "FaultConfig", num_nodes: int, horizon: float, rng: np.random.Generator
+) -> FaultPlan:
+    interval_s = config.maintenance_interval_hours * 3600.0
+    # A drain window never consumes its whole interval: back-to-back
+    # windows would make consecutive hand-offs *touch*, and touching
+    # outages count as overlapping under the capacity floor (see
+    # ``assemble_plan``) — on a two-node cluster that would drop every
+    # other window instead of rolling through the fleet.
+    window_s = min(max(60.0, config.repair_minutes * 60.0), 0.9 * interval_s)
+    # A seeded phase so different seeds shift the schedule but stay periodic.
+    t = float(rng.uniform(0.25, 1.0)) * interval_s
+    node = int(rng.integers(num_nodes))
+    outages: List[Outage] = []
+    while t < horizon:
+        outages.append(Outage(node, t, t + window_s))
+        node = (node + 1) % num_nodes
+        t += interval_s
+    return assemble_plan(
+        outages, num_nodes=num_nodes, max_down_fraction=config.max_down_fraction
+    )
+
+
+@register_profile("stragglers", "intermittent slow nodes (throughput degradation)")
+def _stragglers_profile(
+    config: "FaultConfig", num_nodes: int, horizon: float, rng: np.random.Generator
+) -> FaultPlan:
+    mtbf_s = config.mtbf_hours * 3600.0
+    slow_s = max(60.0, config.degrade_minutes * 60.0)
+    degrades: List[FaultInjection] = []
+    for node in range(num_nodes):
+        t = float(rng.exponential(mtbf_s))
+        while t < horizon:
+            degrades.append(
+                FaultInjection(t, FaultKind.GPU_DEGRADED, node, config.degrade_factor)
+            )
+            degrades.append(FaultInjection(t + slow_s, FaultKind.GPU_DEGRADED, node, 1.0))
+            t = t + slow_s + float(rng.exponential(mtbf_s))
+    return assemble_plan(
+        (), degrades, num_nodes=num_nodes, max_down_fraction=config.max_down_fraction
+    )

@@ -83,6 +83,11 @@ class ThroughputModel:
         """The cluster this model evaluates placements against."""
         return self._topology
 
+    @property
+    def allreduce_efficiency(self) -> float:
+        """The achieved fraction of theoretical ring bandwidth."""
+        return self._allreduce_efficiency
+
     # -- elementary costs ----------------------------------------------------------
 
     def compute_time(

@@ -13,16 +13,36 @@ Handlers follow the ledger synchronisation contract (see
 ``sim._state()`` materializes everything, so scheduler callbacks always
 observe fully up-to-date ``Job`` objects.
 
-Adding a new event kind
------------------------
-1. Add the kind to :class:`~repro.cluster.events.EventKind` (its integer
-   value is the same-timestamp tie-break priority).
-2. Write a handler subclassing
-   :class:`~repro.sim.kernel.EventHandler` here, binding the simulator
-   in ``__init__`` and setting ``kind``.
-3. Add it to :func:`default_handlers` (or pass a custom handler map to
-   the simulator) and push the first event of that kind from wherever it
-   originates.
+Adding a new event kind — the ``NODE_DOWN`` worked example
+----------------------------------------------------------
+The fault-injection subsystem (:mod:`repro.faults`) added three kinds by
+exactly this recipe; ``NODE_DOWN`` is the richest one to copy from:
+
+1. **Add the kind to** :class:`~repro.cluster.events.EventKind`.  Its
+   integer value is the same-timestamp tie-break priority — *append*
+   new members (``NODE_DOWN = 5``) so every pre-existing ordering stays
+   bit-identical, and order the new members against each other
+   deliberately (``NODE_DOWN`` before ``NODE_UP`` so a coincident
+   outage hand-off never sees both nodes up at once).
+2. **Write a handler** subclassing :class:`~repro.sim.kernel.EventHandler`,
+   binding the simulator in ``__init__`` and setting ``kind``.
+   :class:`~repro.faults.handlers.NodeDownHandler` shows the full
+   pattern, including the ledger contract: it ``materialize()``\\ s each
+   victim before reading its progress, mutates the ``Job`` (rolls back
+   uncheckpointed work, ``stop_running`` — which bumps the generation so
+   stale ``EPOCH_END`` events are lazily dropped), then ``pull()``\\ s the
+   job back into the ledger.  Domain-specific handlers can live next to
+   their subsystem (``repro/faults/handlers.py``) rather than here.
+3. **Register it** in :func:`default_handlers` (or pass a custom handler
+   map to the simulator) and **push the first event** from wherever it
+   originates — fault events are seeded by ``ClusterSimulator.run`` from
+   the run's :class:`~repro.faults.plan.FaultPlan`, with the plan entry
+   riding in ``Event.payload``.
+4. If the handler must make the *scheduler* react, expose a callback on
+   :class:`~repro.baselines.base.SchedulerBase` (``NODE_DOWN`` added
+   ``on_fault``) with a safe default, and call it through
+   ``sim._state()`` / ``sim._apply_allocation`` so every policy reacts
+   through the same path.
 """
 
 from __future__ import annotations
@@ -30,6 +50,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict
 
 from repro.cluster.events import Event, EventKind
+from repro.faults.handlers import fault_handlers
 from repro.sim.kernel import EventHandler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (facade imports us)
@@ -119,7 +140,12 @@ def default_handlers(sim: "ClusterSimulator") -> Dict[EventKind, EventHandler]:
     ``JOB_COMPLETION`` / ``RECONFIG_DONE`` have no standalone handlers:
     completions are folded into the epoch-end path (a job can only
     converge at an epoch boundary) and re-configuration ends are modelled
-    as progress-resume times in the ledger.
+    as progress-resume times in the ledger.  The fault kinds
+    (``NODE_DOWN`` / ``NODE_UP`` / ``GPU_DEGRADED``) are always
+    registered — registration costs three dict entries; without a fault
+    plan no such event is ever pushed, so the zero-fault loop is
+    untouched.
     """
-    handlers = (ArrivalHandler(sim), EpochEndHandler(sim), TimerHandler(sim))
+    handlers = [ArrivalHandler(sim), EpochEndHandler(sim), TimerHandler(sim)]
+    handlers.extend(fault_handlers(sim))
     return {handler.kind: handler for handler in handlers}

@@ -48,6 +48,10 @@ import numpy as np
 from repro.cluster.allocation import Allocation
 from repro.cluster.events import Event, EventKind, EventQueue
 from repro.cluster.topology import ClusterTopology
+from repro.faults.config import FaultConfig
+from repro.faults.costs import FaultCostModel
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.runtime import FaultRuntime
 from repro.jobs.job import Job, JobSpec
 from repro.jobs.throughput import ThroughputModel
 from repro.baselines.base import ClusterState, SchedulerBase
@@ -57,6 +61,13 @@ from repro.sim.kernel import SimulationKernel
 from repro.sim.ledger import ProgressLedger
 from repro.sim.profiling import SimProfile
 from repro.utils.validation import check_non_negative, check_positive
+
+#: FaultKind -> the EventKind its injection is scheduled under.
+_FAULT_EVENT_KINDS = {
+    FaultKind.NODE_DOWN: EventKind.NODE_DOWN,
+    FaultKind.NODE_UP: EventKind.NODE_UP,
+    FaultKind.GPU_DEGRADED: EventKind.GPU_DEGRADED,
+}
 
 
 @dataclass(frozen=True)
@@ -84,6 +95,14 @@ class SimulationConfig:
         ``SimulationResult.profile``.  Off by default: wall-clock is
         host-specific, so profiled artifacts are not reproducible across
         machines.
+    faults:
+        Optional :class:`~repro.faults.config.FaultConfig` describing the
+        cluster weather the run is exposed to (node outages, stragglers,
+        checkpoint/restart costs).  A disabled config (profile ``"none"``
+        with no injections) is normalised to ``None`` so zero-fault
+        configurations — and therefore experiment cell keys and
+        trajectories — are exactly what they were before the fault
+        subsystem existed.
     """
 
     max_time: float = 48 * 3600.0
@@ -92,6 +111,7 @@ class SimulationConfig:
     min_progress_rate: float = 1e-6
     max_events: int = 2_000_000
     collect_profile: bool = False
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         check_positive(self.max_time, "max_time")
@@ -100,12 +120,19 @@ class SimulationConfig:
         check_positive(self.min_progress_rate, "min_progress_rate")
         if self.max_events < 1000:
             raise ValueError("max_events must be >= 1000")
+        if self.faults is not None and not self.faults.enabled:
+            object.__setattr__(self, "faults", None)
 
     # -- serialization (used by declarative experiment specs) ---------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
-        return {
+        """Plain-JSON representation (round-trips through :meth:`from_dict`).
+
+        The ``faults`` key is present only when fault injection is
+        enabled: zero-fault payloads (and the cell keys hashed from
+        them) are byte-identical to the pre-fault schema.
+        """
+        payload: Dict[str, object] = {
             "max_time": float(self.max_time),
             "start_overhead": float(self.start_overhead),
             "allreduce_efficiency": float(self.allreduce_efficiency),
@@ -113,10 +140,14 @@ class SimulationConfig:
             "max_events": int(self.max_events),
             "collect_profile": bool(self.collect_profile),
         }
+        if self.faults is not None:
+            payload["faults"] = self.faults.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "SimulationConfig":
         """Rebuild a :class:`SimulationConfig` from :meth:`to_dict` output."""
+        faults = payload.get("faults")
         return cls(
             max_time=float(payload["max_time"]),
             start_overhead=float(payload["start_overhead"]),
@@ -124,6 +155,7 @@ class SimulationConfig:
             min_progress_rate=float(payload["min_progress_rate"]),
             max_events=int(payload["max_events"]),
             collect_profile=bool(payload.get("collect_profile", False)),
+            faults=FaultConfig.from_dict(faults) if faults is not None else None,
         )
 
 
@@ -146,6 +178,11 @@ class SimulationResult:
     #: wall-clock; ``events_<kind>`` keys are per-event-kind counts
     #: (floats for JSON uniformity) — do not sum the dict as seconds.
     profile: Dict[str, float] = field(default_factory=dict, repr=False)
+    #: Recovery metrics of a faulted run (evictions, restarts, lost
+    #: GPU-seconds, downtime, goodput — see
+    #: :meth:`repro.faults.runtime.FaultRuntime.metrics`).  Empty when
+    #: the run had no fault configuration.
+    faults: Dict[str, float] = field(default_factory=dict, repr=False)
 
     # -- metric views -------------------------------------------------------------------
 
@@ -217,6 +254,7 @@ class SimulationResult:
             "num_reconfigurations": int(self.num_reconfigurations),
             "events_processed": int(self.events_processed),
             "profile": {key: float(value) for key, value in self.profile.items()},
+            "faults": {key: float(value) for key, value in self.faults.items()},
         }
 
     @classmethod
@@ -238,6 +276,10 @@ class SimulationResult:
             profile={
                 key: float(value)
                 for key, value in payload.get("profile", {}).items()
+            },
+            faults={
+                key: float(value)
+                for key, value in payload.get("faults", {}).items()
             },
         )
 
@@ -295,6 +337,21 @@ class ClusterSimulator:
         self.profile: Optional[SimProfile] = (
             SimProfile() if self.config.collect_profile else None
         )
+        # fault state: the plan is derived deterministically from the
+        # config + cluster + horizon (empty when faults are disabled),
+        # the runtime tracks down/degraded nodes and recovery metrics.
+        self.faults = FaultRuntime(topology)
+        if self.config.faults is not None:
+            self.fault_costs = FaultCostModel(
+                restart_delay_multiplier=self.config.faults.restart_delay_multiplier,
+                lost_work_fraction=self.config.faults.lost_work_fraction,
+            )
+            self.fault_plan = self.config.faults.build_plan(
+                topology.num_nodes, self.config.max_time
+            )
+        else:
+            self.fault_costs = FaultCostModel()
+            self.fault_plan = FaultPlan()
         self.handlers = default_handlers(self)
         self.kernel = SimulationKernel(
             max_time=self.config.max_time,
@@ -334,6 +391,14 @@ class ClusterSimulator:
         if self.scheduler.timer_interval is not None:
             first = self.trace[0].arrival_time + self.scheduler.timer_interval
             self.kernel.push(Event(time=first, kind=EventKind.TIMER))
+        for injection in self.fault_plan:
+            self.kernel.push(
+                Event(
+                    time=injection.time,
+                    kind=_FAULT_EVENT_KINDS[injection.kind],
+                    payload=injection,
+                )
+            )
         self.kernel.run()
         return self._build_result()
 
@@ -349,6 +414,7 @@ class ClusterSimulator:
             throughput_model=self.throughput_model,
             allocation=self.allocation,
             jobs=self.jobs,
+            unavailable_gpus=self.faults.unavailable_gpus(),
         )
 
     def _all_done(self) -> bool:
@@ -362,6 +428,8 @@ class ClusterSimulator:
         """Kernel advance hook: GPU busy-time accounting + ledger progress."""
         busy_gpus = len(self.allocation.used_gpus())
         self._busy_gpu_time += busy_gpus * (to_time - self.kernel.now)
+        if self.faults.down_nodes:
+            self.faults.charge_downtime(to_time - self.kernel.now)
         self.ledger.advance_to(to_time)
 
     def _advance_time(self, to_time: float) -> None:
@@ -432,6 +500,10 @@ class ClusterSimulator:
             overhead = self._reconfiguration_overhead(
                 job, was_running, old_workers, new_config.num_gpus
             )
+            if not was_running:
+                # A fault-evicted job restores its checkpoint on top of
+                # the normal cold-start cost (0.0 when nothing is owed).
+                overhead += self.faults.consume_restart(job_id)
             job.record_reconfiguration(overhead)
             self._num_reconfigs += 1
             self.ledger.pull(job)
@@ -439,6 +511,8 @@ class ClusterSimulator:
             rate = self.throughput_model.throughput(
                 job.spec.model, list(new_config.local_batches), list(new_config.gpu_ids)
             )
+            if self.faults.degraded:
+                rate *= self.faults.placement_factor(new_config.gpu_ids)
             if rate < self.config.min_progress_rate:
                 raise RuntimeError(
                     f"configuration of job {job_id} yields throughput {rate:.3g} "
@@ -459,6 +533,14 @@ class ClusterSimulator:
                 job_id: job.spec.max_local_batch for job_id, job in self.jobs.items()
             },
         )
+        unavailable = self.faults.unavailable_gpus()
+        if unavailable:
+            dead = sorted(set(proposal.used_gpus()) & unavailable)
+            if dead:
+                raise ValueError(
+                    f"allocation places workers on unavailable GPUs {dead} "
+                    f"(nodes down: {sorted(self.faults.down_nodes)})"
+                )
         for job_id in proposal.jobs():
             job = self.jobs.get(job_id)
             if job is None:
@@ -519,6 +601,12 @@ class ClusterSimulator:
             if spec.job_id not in completed
         ]
         makespan = self.now - self.trace[0].arrival_time if self.jobs else 0.0
+        gpu_time_total = self.topology.num_gpus * max(makespan, 1e-9)
+        fault_metrics: Dict[str, float] = {}
+        if self.config.faults is not None:
+            fault_metrics = self.faults.metrics(
+                gpu_time_busy=self._busy_gpu_time, gpu_time_total=gpu_time_total
+            )
         profile: Dict[str, float] = {}
         if self.profile is not None:
             reporter = getattr(self.scheduler, "profile_phases", None)
@@ -533,11 +621,12 @@ class ClusterSimulator:
             incomplete=incomplete,
             makespan=makespan,
             gpu_time_busy=self._busy_gpu_time,
-            gpu_time_total=self.topology.num_gpus * max(makespan, 1e-9),
+            gpu_time_total=gpu_time_total,
             num_reconfigurations=self._num_reconfigs,
             events_processed=self.kernel.events_processed,
             jobs=dict(self.jobs),
             profile=profile,
+            faults=fault_metrics,
         )
 
 
