@@ -1,4 +1,4 @@
-"""Serial vs process-pool execution of an experiment grid.
+"""Serial vs process-pool vs durable-queue execution of an experiment grid.
 
 The Fig. 15/17 sweeps are embarrassingly parallel across (scheduler,
 capacity, seed) cells; the declarative Runner exploits that with its
@@ -7,21 +7,37 @@ the serial backend and a 2-worker pool, asserts the artifacts are
 bit-identical, and records the wall-clock of both paths (plus a resumed
 run served entirely from the cell cache) in ``BENCH_runner.json``.
 
+The ``queue`` section measures the durable lease-based queue backend:
+per-cell enqueue and claim overhead (the fixed price of crash safety —
+an fsynced log append plus an exclusive lease-file create), a full
+queue-backed sweep checked bit-identical against serial, and the
+recovery latency after a worker is SIGKILLed mid-cell (kill to finished
+artifact, dominated by the lease TTL).
+
 Run with ``PYTHONPATH=src python -m benchmarks.bench_parallel_runner``
 or through pytest.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import signal
+import subprocess
+import sys
 import tempfile
+import time
+from pathlib import Path
 from time import perf_counter
 from typing import Dict
 
 from benchmarks._shared import SCALES, SEED, write_perf_record, write_report
 
+import repro
+from repro.experiments.backends import ExecutionPolicy
 from repro.experiments.orchestrator import Runner
-from repro.experiments.spec import ExperimentSpec
+from repro.experiments.queue import WorkQueue
+from repro.experiments.spec import ExperimentSpec, RunSpec
 from repro.sim.simulator import SimulationConfig
 from repro.workload.trace import TraceConfig
 
@@ -78,6 +94,104 @@ def run_bench(scale_name: str = "small") -> Dict:
     }
 
 
+def _spawn_bench_worker(queue_dir: str, *extra: str) -> subprocess.Popen:
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = package_root + (os.pathsep + existing if existing else "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.worker", queue_dir, "--quiet", *extra],
+        env=env,
+    )
+
+
+def _wait_for_claim(queue_dir: str, timeout: float = 60.0) -> None:
+    log = Path(queue_dir) / "log.jsonl"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if log.exists():
+            for line in log.read_text().splitlines():
+                try:
+                    if json.loads(line).get("event") == "claimed":
+                        return
+                except json.JSONDecodeError:
+                    continue
+        time.sleep(0.05)
+    raise AssertionError("bench worker never claimed its cell")
+
+
+def run_queue_bench(scale_name: str = "small") -> Dict:
+    """Queue backend: protocol overhead, sweep parity, recovery latency."""
+    spec = _grid(SCALES[scale_name])
+    cells = spec.expand()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Protocol overhead, isolated from simulation cost: enqueue every
+        # cell (fsynced log append + spec write) then claim every cell
+        # (log tail + exclusive lease create).
+        protocol = WorkQueue(os.path.join(tmp, "protocol"), lease_ttl=300.0)
+        start = perf_counter()
+        protocol.enqueue_all(cells)
+        enqueue_seconds = perf_counter() - start
+        start = perf_counter()
+        claimed = 0
+        while protocol.claim("bench-worker") is not None:
+            claimed += 1
+        claim_seconds = perf_counter() - start
+        if claimed != len(cells):
+            raise AssertionError(f"claimed {claimed} of {len(cells)} enqueued cells")
+
+        # Full sweep through the Runner, checked against serial.
+        serial = Runner(backend="serial").run(spec)
+        start = perf_counter()
+        queue_runner = Runner(backend="queue", queue_dir=os.path.join(tmp, "sweep"),
+                              workers=WORKERS, lease_ttl=60.0)
+        queued = queue_runner.run(spec)
+        queue_seconds = perf_counter() - start
+        if queued.to_json() != serial.to_json():
+            raise AssertionError("queue-backed sweep diverged from serial")
+
+        # Recovery drill: a worker is SIGKILLed mid-cell; measure kill ->
+        # finished artifact (lease expiry + re-claim + execution).
+        drill_dir = os.path.join(tmp, "drill")
+        drill_spec: RunSpec = cells[0]
+        drill = WorkQueue(drill_dir, lease_ttl=1.0,
+                          policy=ExecutionPolicy(max_retries=3))
+        (drill_key,) = drill.enqueue_all([drill_spec])
+        victim = _spawn_bench_worker(drill_dir, "--hold-s", "120",
+                                     "--worker-id", "victim")
+        try:
+            _wait_for_claim(drill_dir)
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+            killed_at = perf_counter()
+            rescuer = _spawn_bench_worker(drill_dir, "--exit-when-done",
+                                          "--worker-id", "rescuer")
+            try:
+                rescuer.wait(timeout=120)
+                recovery_seconds = perf_counter() - killed_at
+            finally:
+                if rescuer.poll() is None:
+                    rescuer.kill()
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+        if drill.load_result(drill_key) is None:
+            raise AssertionError("recovery drill did not produce the artifact")
+
+    return {
+        "cells": len(cells),
+        "workers": WORKERS,
+        "enqueue_seconds_per_cell": round(enqueue_seconds / len(cells), 5),
+        "claim_seconds_per_cell": round(claim_seconds / len(cells), 5),
+        "sweep_seconds": round(queue_seconds, 3),
+        "bit_identical": True,
+        "recovery_lease_ttl": 1.0,
+        "recovery_seconds_after_kill": round(recovery_seconds, 3),
+    }
+
+
 def test_parallel_runner_benchmark():
     """Pytest entry point (small scale so the benchmark suite stays fast)."""
     record = run_bench("small")
@@ -85,18 +199,32 @@ def test_parallel_runner_benchmark():
     assert record["cells_resumed_from_cache"] == record["cells"]
 
 
+def test_queue_backend_benchmark():
+    """The queue section doubles as an integration gate: parity + recovery."""
+    record = run_queue_bench("small")
+    assert record["bit_identical"]
+    assert record["recovery_seconds_after_kill"] > 0
+
+
 def main() -> None:
     record = run_bench("small")
+    record["queue"] = run_queue_bench("small")
     write_perf_record("runner", record)
+    queue = record["queue"]
     lines = [
-        "Parallel experiment runner (serial vs process-pool backend)",
-        "-----------------------------------------------------------",
+        "Parallel experiment runner (serial vs process-pool vs queue backend)",
+        "--------------------------------------------------------------------",
         f"grid: {record['cells']} cells, {record['workers']} workers, "
         f"{record['cpus']} CPUs",
         f"serial    : {record['serial_seconds']:.2f}s",
         f"parallel  : {record['parallel_seconds']:.2f}s  (speedup {record['speedup']}x)",
         f"resume    : {record['resume_seconds']:.2f}s  "
         f"({record['cells_resumed_from_cache']}/{record['cells']} cells from cache)",
+        f"queue     : {queue['sweep_seconds']:.2f}s sweep, "
+        f"{1000 * queue['enqueue_seconds_per_cell']:.1f}ms enqueue + "
+        f"{1000 * queue['claim_seconds_per_cell']:.1f}ms claim per cell",
+        f"recovery  : {queue['recovery_seconds_after_kill']:.2f}s from SIGKILL to "
+        f"finished artifact (lease TTL {queue['recovery_lease_ttl']:.0f}s)",
         "artifacts : bit-identical across backends",
     ]
     write_report("parallel_runner", "\n".join(lines))

@@ -14,6 +14,10 @@ Installed as the ``repro-ones`` console script (also runnable as
 ``sweep``
     Run the Fig. 17/18 scalability sweep over several cluster sizes
     (and optionally several seeds).
+``worker``
+    Attach a queue worker to a durable queue directory (see below).
+``queue-status``
+    Inspect a queue directory: per-state cell counts and per-cell rows.
 ``schedulers``
     List every scheduler in the registry with its Table-3 capabilities.
 ``fault-profiles``
@@ -36,6 +40,15 @@ executed by a :class:`~repro.experiments.orchestrator.Runner`.
 are bit-identical to serial execution), ``--output-dir`` persists every
 cell artifact plus the sweep JSON and a Markdown report, and
 ``--resume`` skips cells whose artifacts are already cached there.
+
+``--backend queue --queue-dir DIR`` switches to the durable lease-based
+work queue: cells are enqueued into ``DIR`` (idempotently, by content
+key), ``--workers N`` local worker processes are spawned (0 = wait for
+external workers started with ``repro-ones worker DIR`` on any host
+sharing the filesystem), and the sweep survives worker churn — a killed
+worker's lease expires and its cell is re-claimed.  Cells that exhaust
+``--cell-retries`` end DEAD and are reported with a failure table and a
+non-zero exit, never silently dropped.
 """
 
 from __future__ import annotations
@@ -64,7 +77,7 @@ from repro.experiments.registry import (
     resolve,
 )
 from repro.experiments.spec import ExperimentSpec
-from repro.experiments.backends import simulate_trace
+from repro.experiments.backends import CellTimeoutError, simulate_trace
 from repro.faults import FaultConfig, available_profiles, profile_table
 from repro.sim.simulator import SimulationConfig
 from repro.workload.replay import load_trace, save_trace, trace_statistics
@@ -136,16 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--jobs", type=int, default=50)
     compare.add_argument("--arrival-interval", type=float, default=30.0)
     compare.add_argument("--seed", type=int, default=2021)
-    compare.add_argument("--workers", type=int, default=1,
-                         help="run cells on a process pool of this size (1 = serial)")
-    compare.add_argument("--output-dir", type=Path, default=None,
-                         help="persist per-cell artifacts, sweep JSON and report here")
-    compare.add_argument("--resume", action="store_true",
-                         help="reuse cell artifacts cached in --output-dir")
-    compare.add_argument("--cell-timeout", type=float, default=None, metavar="SECONDS",
-                         help="kill any cell attempt exceeding this wall-clock budget")
-    compare.add_argument("--cell-retries", type=int, default=0, metavar="N",
-                         help="retry a timed-out / failed cell up to N extra times")
+    _add_backend_arguments(compare)
     compare.add_argument("--profile", action="store_true",
                          help="record per-phase wall-clock in every cell artifact "
                               "and print a summary")
@@ -167,21 +171,42 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--arrival-interval", type=float, default=30.0)
     sweep.add_argument("--seeds", type=int, nargs="+", default=[2021],
                        help="one run per (scheduler, capacity, seed, trace) cell")
-    sweep.add_argument("--workers", type=int, default=1,
-                       help="run cells on a process pool of this size (1 = serial)")
-    sweep.add_argument("--output-dir", type=Path, default=None,
-                       help="persist per-cell artifacts, sweep JSON and report here")
-    sweep.add_argument("--resume", action="store_true",
-                       help="reuse cell artifacts cached in --output-dir")
-    sweep.add_argument("--cell-timeout", type=float, default=None, metavar="SECONDS",
-                       help="kill any cell attempt exceeding this wall-clock budget")
-    sweep.add_argument("--cell-retries", type=int, default=0, metavar="N",
-                       help="retry a timed-out / failed cell up to N extra times")
+    _add_backend_arguments(sweep)
     sweep.add_argument("--profile", action="store_true",
                        help="record per-phase wall-clock (ledger advance, handlers, "
                             "GPR refits) in every cell artifact and print a summary")
     _add_fault_arguments(sweep)
     sweep.add_argument("--json", type=Path, default=None)
+
+    worker = sub.add_parser(
+        "worker",
+        help="attach a queue worker to a durable queue directory",
+        description="Claim and execute cells from a queue directory created by "
+                    "`compare`/`sweep --backend queue`. Start any number of these, "
+                    "on any host sharing the filesystem; kill them freely — an "
+                    "interrupted cell's lease expires and the cell is re-claimed.",
+    )
+    worker.add_argument("queue_dir", type=Path)
+    worker.add_argument("--worker-id", default=None,
+                        help="stable worker name for the log (default: random)")
+    worker.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                        help="override the queue's lease TTL for this worker")
+    worker.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                        help="idle poll interval when no cell is claimable")
+    worker.add_argument("--exit-when-done", action="store_true",
+                        help="exit once every cell is COMPLETED or DEAD")
+    worker.add_argument("--max-cells", type=int, default=None, metavar="N",
+                        help="exit after settling N cells (ephemeral-worker mode)")
+    worker.add_argument("--hold-s", type=float, default=0.0, metavar="SECONDS",
+                        help="chaos hook: sleep between claiming and executing "
+                             "(gives kill-mid-cell drills a window)")
+    worker.add_argument("--quiet", action="store_true")
+
+    qstatus = sub.add_parser("queue-status",
+                             help="inspect a durable queue directory")
+    qstatus.add_argument("queue_dir", type=Path)
+    qstatus.add_argument("--cells", action="store_true",
+                         help="also print one row per cell")
 
     scheds = sub.add_parser("schedulers", help="list the scheduler registry (Table 3)")
     scheds.add_argument("--paper-only", action="store_true",
@@ -195,6 +220,41 @@ def build_parser() -> argparse.ArgumentParser:
                       default="all")
 
     return parser
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared execution-backend flags of ``compare`` and ``sweep``."""
+    group = parser.add_argument_group(
+        "execution backend",
+        "where and how the grid's cells run; all backends produce "
+        "bit-identical artifacts",
+    )
+    group.add_argument("--backend", choices=["serial", "process", "queue"],
+                       default=None,
+                       help="cell execution backend (default: serial, or process "
+                            "when --workers > 1)")
+    group.add_argument("--workers", type=int, default=1,
+                       help="process pool size, or number of locally-spawned queue "
+                            "workers (0 with --backend queue = external workers only)")
+    group.add_argument("--queue-dir", type=Path, default=None,
+                       help="durable queue directory for --backend queue (created "
+                            "if missing; re-running against it resumes from its log)")
+    group.add_argument("--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+                       help="queue lease TTL: how long after a worker stops "
+                            "heartbeating its cell returns to pending (default 30)")
+    group.add_argument("--output-dir", type=Path, default=None,
+                       help="persist per-cell artifacts, sweep JSON and report here")
+    group.add_argument("--resume", action="store_true",
+                       help="reuse cell artifacts cached in --output-dir")
+    group.add_argument("--cell-timeout", type=float, default=None, metavar="SECONDS",
+                       help="kill any cell attempt exceeding this wall-clock budget")
+    group.add_argument("--cell-retries", type=int, default=None, metavar="N",
+                       help="retry a timed-out / failed cell up to N extra times "
+                            "(default 0; default 2 with --backend queue, where "
+                            "worker-death retries ride on the same budget)")
+    group.add_argument("--cell-backoff", type=float, default=0.0, metavar="SECONDS",
+                       help="base delay before a cell retry, doubled per extra "
+                            "attempt (default 0: retry immediately)")
 
 
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -328,11 +388,54 @@ def _make_runner(args) -> Runner:
     if args.resume and not args.output_dir:
         raise SystemExit("--resume requires --output-dir (the cell cache lives there)")
     cache_dir = args.output_dir / "cells" if args.output_dir else None
-    backend = "process" if args.workers and args.workers > 1 else "serial"
-    return Runner(backend=backend, workers=args.workers if backend == "process" else None,
+    backend = args.backend
+    if backend is None:
+        backend = "process" if args.workers and args.workers > 1 else "serial"
+    if backend == "queue" and args.queue_dir is None:
+        raise SystemExit("--backend queue requires --queue-dir (the durable work "
+                         "log and leases live there)")
+    if backend != "queue" and args.queue_dir is not None:
+        raise SystemExit("--queue-dir is only meaningful with --backend queue")
+    retries = args.cell_retries
+    if retries is None:
+        # The queue's retry budget also absorbs worker deaths (an expired
+        # lease is charged as an attempt), so give it headroom by default.
+        retries = 2 if backend == "queue" else 0
+    workers: Optional[int] = args.workers
+    if backend == "serial":
+        workers = None
+    return Runner(backend=backend, workers=workers,
                   cache_dir=cache_dir,
-                  timeout_s=getattr(args, "cell_timeout", None),
-                  max_retries=getattr(args, "cell_retries", 0))
+                  timeout_s=args.cell_timeout,
+                  max_retries=retries,
+                  retry_backoff_s=args.cell_backoff,
+                  queue_dir=args.queue_dir,
+                  lease_ttl=args.lease_ttl)
+
+
+def _report_failed_cells(sweep) -> int:
+    """Failure gate of ``compare``/``sweep``: dead cells => table + exit 1.
+
+    A queue sweep never raises on a poisoned cell — it finishes the grid
+    and hands back placeholders — so partial success must be loud here
+    instead: print one row per dead cell and make the process exit
+    non-zero.
+    """
+    dead = sweep.dead_runs()
+    if not dead:
+        return 0
+    print()
+    print(f"ERROR: {len(dead)} of {len(sweep.runs)} cells ended dead "
+          "(retry budget exhausted); results above exclude them")
+    print(format_table([
+        {
+            "cell": run.spec.label(),
+            "cell_key": run.spec.cell_key(),
+            "error": (run.error or "")[:70],
+        }
+        for run in dead
+    ]))
+    return 1
 
 
 # --- sub-command implementations ---------------------------------------------------------------
@@ -367,11 +470,31 @@ def cmd_run(args) -> int:
     return 0 if not result.incomplete else 1
 
 
+def _run_grid(runner: Runner, spec: ExperimentSpec, resume: bool):
+    """Execute the grid, turning a fatal cell failure into a clean exit.
+
+    The serial/process backends raise on a cell that exhausts its retry
+    budget; rather than a traceback, print what failed and exit non-zero
+    (the queue backend instead finishes the grid with dead placeholders,
+    reported by :func:`_report_failed_cells`).
+    """
+    try:
+        return runner.run(spec, resume=resume)
+    except (CellTimeoutError, RuntimeError) as exc:
+        print(f"[runner] {runner.stats.describe()} ({runner.backend.name} backend)")
+        print(f"ERROR: sweep aborted, a cell failed all its attempts: {exc}")
+        raise SystemExit(1)
+
+
 def cmd_compare(args) -> int:
     spec = _experiment_spec(args, capacities=[args.gpus], seeds=[args.seed])
     runner = _make_runner(args)
-    sweep = runner.run(spec, resume=args.resume)
+    sweep = _run_grid(runner, spec, args.resume)
     print(f"[runner] {runner.stats.describe()} ({runner.backend.name} backend)")
+    if sweep.dead_runs():
+        if args.output_dir:
+            _persist_sweep(sweep, args.output_dir)
+        return _report_failed_cells(sweep)
     comparison = sweep.to_comparisons()[args.gpus]
     print("Average JCT (s)")
     print(ascii_bar_chart(comparison.averages("jct"), unit="s"))
@@ -411,8 +534,12 @@ def cmd_compare(args) -> int:
 def cmd_sweep(args) -> int:
     spec = _experiment_spec(args, capacities=args.capacities, seeds=args.seeds)
     runner = _make_runner(args)
-    sweep = runner.run(spec, resume=args.resume)
+    sweep = _run_grid(runner, spec, args.resume)
     print(f"[runner] {runner.stats.describe()} ({runner.backend.name} backend)")
+    if sweep.dead_runs():
+        if args.output_dir:
+            _persist_sweep(sweep, args.output_dir)
+        return _report_failed_cells(sweep)
     capacities = sorted(spec.capacities)
     averages = sweep.mean_metric_table("jct")
     series: Dict[str, List[float]] = {
@@ -453,6 +580,42 @@ def _persist_sweep(sweep, output_dir: Path) -> None:
     print(f"sweep artifact written to {artifact_path}")
     print(f"sweep report written to {report_path}")
     print(f"per-cell artifacts cached under {output_dir / 'cells'}")
+
+
+def cmd_worker(args) -> int:
+    from repro.experiments.worker import run_worker
+
+    run_worker(
+        str(args.queue_dir),
+        worker_id=args.worker_id,
+        lease_ttl=args.ttl,
+        poll_interval=args.poll,
+        exit_when_done=args.exit_when_done,
+        max_cells=args.max_cells,
+        hold_s=args.hold_s,
+        verbose=not args.quiet,
+    )
+    return 0
+
+
+def cmd_queue_status(args) -> int:
+    from repro.experiments.queue import WorkQueue
+
+    queue_dir = Path(args.queue_dir)
+    if not (queue_dir / "queue.json").exists():
+        raise SystemExit(f"{queue_dir} is not a queue directory (no queue.json)")
+    queue = WorkQueue(queue_dir)
+    status = queue.status()
+    print(f"Queue {queue.path} — {status.total} cells "
+          f"(lease TTL {queue.lease_ttl:.1f}s, retries {queue.policy.max_retries})")
+    print(format_table([
+        {"state": name, "count": count} for name, count in status.as_dict().items()
+    ]))
+    if args.cells:
+        rows = queue.cell_rows()
+        if rows:
+            print(format_table(rows))
+    return 0 if not status.dead else 1
 
 
 def cmd_schedulers(args) -> int:
@@ -527,6 +690,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
+        "worker": cmd_worker,
+        "queue-status": cmd_queue_status,
         "schedulers": cmd_schedulers,
         "fault-profiles": cmd_fault_profiles,
         "figures": cmd_figures,

@@ -10,7 +10,12 @@ The public API for producing every table and figure of the paper:
   capacities x seeds x traces) that expand to individual
   :class:`~repro.experiments.spec.RunSpec` cells.
 * :mod:`repro.experiments.backends` — pluggable execution backends:
-  serial, or a process pool producing bit-identical results in parallel.
+  serial, a process pool producing bit-identical results in parallel,
+  or the durable lease-based work queue.
+* :mod:`repro.experiments.queue` / :mod:`repro.experiments.worker` —
+  the crash-safe file-backed :class:`~repro.experiments.queue.WorkQueue`
+  (append-only work log + atomic leases) and the worker loop that
+  executes cells from it, surviving ``kill -9`` worker churn.
 * :mod:`repro.experiments.orchestrator` — the
   :class:`~repro.experiments.orchestrator.Runner`: executes grids with
   content-keyed on-disk caching and ``resume`` support.
@@ -24,18 +29,20 @@ The public API for producing every table and figure of the paper:
   figures that need no cluster simulation.
 """
 
-from repro.experiments.artifacts import RunArtifact, SweepArtifact
+from repro.experiments.artifacts import RunArtifact, SweepArtifact, dead_cell_artifact
 from repro.experiments.backends import (
     CellTimeoutError,
     ExecutionBackend,
     ExecutionPolicy,
     ProcessPoolBackend,
+    QueueBackend,
     SerialBackend,
     execute_run,
     make_backend,
     simulate_run,
     simulate_trace,
 )
+from repro.experiments.queue import CellState, LeaseLostError, WorkQueue
 from repro.experiments.config import ExperimentConfig, default_schedulers
 from repro.experiments.orchestrator import Runner, RunnerStats, run_experiment
 from repro.experiments.registry import (
@@ -67,13 +74,19 @@ __all__ = [
     "run_experiment",
     "RunArtifact",
     "SweepArtifact",
+    "dead_cell_artifact",
     # backends
     "CellTimeoutError",
     "ExecutionBackend",
     "ExecutionPolicy",
     "SerialBackend",
     "ProcessPoolBackend",
+    "QueueBackend",
     "make_backend",
+    # durable work queue
+    "WorkQueue",
+    "CellState",
+    "LeaseLostError",
     "simulate_trace",
     "simulate_run",
     "execute_run",

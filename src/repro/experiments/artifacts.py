@@ -36,11 +36,22 @@ PathLike = Union[str, Path]
 
 @dataclass(frozen=True)
 class RunArtifact:
-    """The serializable outcome of executing one :class:`RunSpec` cell."""
+    """The serializable outcome of executing one :class:`RunSpec` cell.
+
+    ``error`` is set only on *dead-cell placeholders* — cells a queue
+    sweep gave up on after exhausting their retry budget.  Placeholders
+    keep the sweep's grid shape intact (one artifact per cell, in order)
+    while making the failure impossible to miss: ``is_dead`` is True,
+    the result carries no completed jobs, and the CLI turns any of them
+    into a failure summary plus a non-zero exit.  Successful artifacts
+    never set the field, so their serialized payloads are byte-identical
+    to the historical schema.
+    """
 
     spec: RunSpec
     result: SimulationResult
     telemetry: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
 
     @classmethod
     def from_simulation(cls, spec: RunSpec, result: SimulationResult) -> "RunArtifact":
@@ -62,6 +73,11 @@ class RunArtifact:
         )
 
     # -- metric views -------------------------------------------------------------------
+
+    @property
+    def is_dead(self) -> bool:
+        """Whether this is a dead-cell placeholder (no simulation ran)."""
+        return self.error is not None
 
     @property
     def scheduler_name(self) -> str:
@@ -94,22 +110,32 @@ class RunArtifact:
     # -- serialization ------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
-        return {
+        """Plain-JSON representation (round-trips through :meth:`from_dict`).
+
+        The ``error`` key appears only on dead-cell placeholders, so
+        payloads of successful runs are byte-identical to the historical
+        schema (and to every cached artifact on disk).
+        """
+        payload: Dict[str, object] = {
             "schema": SCHEMA_VERSION,
             "cell_key": self.spec.cell_key(),
             "spec": self.spec.to_dict(),
             "result": self.result.to_dict(),
             "telemetry": dict(self.telemetry),
         }
+        if self.error is not None:
+            payload["error"] = str(self.error)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "RunArtifact":
         """Rebuild a :class:`RunArtifact` from :meth:`to_dict` output."""
+        error = payload.get("error")
         return cls(
             spec=RunSpec.from_dict(payload["spec"]),
             result=SimulationResult.from_dict(payload["result"]),
             telemetry=dict(payload.get("telemetry", {})),
+            error=None if error is None else str(error),
         )
 
     def to_json(self) -> str:
@@ -120,6 +146,31 @@ class RunArtifact:
     def from_json(cls, text: str) -> "RunArtifact":
         """Deserialize from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
+
+
+def dead_cell_artifact(spec: RunSpec, error: str, attempts: int = 0) -> RunArtifact:
+    """Placeholder artifact for a cell the queue gave up on.
+
+    Carries the spec (so the sweep keeps its grid shape and cell lookup
+    keeps working), an empty result under the spec's scheduler name, and
+    the final error.  Aggregations skip dead cells; the CLI reports them
+    and exits non-zero.
+    """
+    result = SimulationResult(
+        scheduler_name=str(spec.scheduler),
+        num_gpus=int(spec.num_gpus),
+        completed={},
+        incomplete=[],
+        makespan=0.0,
+        gpu_time_busy=0.0,
+        gpu_time_total=0.0,
+        num_reconfigurations=0,
+        events_processed=0,
+    )
+    message = str(error)
+    if attempts:
+        message = f"{message} (after {int(attempts)} failed attempts)"
+    return RunArtifact(spec=spec, result=result, telemetry={}, error=message)
 
 
 @dataclass
@@ -134,6 +185,10 @@ class SweepArtifact:
 
     def __iter__(self) -> Iterator[RunArtifact]:
         return iter(self.runs)
+
+    def dead_runs(self) -> List[RunArtifact]:
+        """The dead-cell placeholders of this sweep (empty when all ran)."""
+        return [run for run in self.runs if run is not None and run.is_dead]
 
     # -- cell lookup --------------------------------------------------------------------
 
@@ -215,7 +270,7 @@ class SweepArtifact:
             for name in self.spec.schedulers
         }
         for run in self.runs:
-            if run.spec.faults != fault:
+            if run.spec.faults != fault or run.is_dead:
                 continue
             table[run.spec.scheduler][run.spec.num_gpus].append(run.mean(metric))
         return {

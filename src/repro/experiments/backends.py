@@ -24,9 +24,14 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
+import subprocess
+import sys
+import time
+import uuid
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.baselines.base import SchedulerBase
 from repro.cluster.topology import make_longhorn_cluster
@@ -105,21 +110,54 @@ class ExecutionPolicy:
     cell after a timeout or an execution error, up to that many extra
     attempts; determinism makes retries of a *logic* error futile, but a
     loaded host can make an honest cell blow a tight timeout once.
+    ``retry_backoff_s`` spaces those retries out exponentially (base
+    delay, doubled per extra attempt), which matters on a loaded host —
+    an immediate re-run hits the same contention that caused the first
+    timeout.  The same policy object drives the queue backend, where the
+    backoff is recorded in the durable work log as the cell's
+    ``not_before`` gate.
     """
 
     timeout_s: Optional[float] = None
     max_retries: int = 0
+    retry_backoff_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.timeout_s is not None and float(self.timeout_s) <= 0:
             raise ValueError("timeout_s must be positive (or None to disable)")
         if int(self.max_retries) < 0:
             raise ValueError("max_retries must be >= 0")
+        if float(self.retry_backoff_s) < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
 
     @property
     def is_default(self) -> bool:
         """Whether the policy changes nothing (no timeout, no retries)."""
         return self.timeout_s is None and self.max_retries == 0
+
+    def backoff_delay(self, retry_index: int) -> float:
+        """Seconds to wait before retry ``retry_index`` (0-based, exponential)."""
+        if self.retry_backoff_s <= 0:
+            return 0.0
+        return float(self.retry_backoff_s) * (2.0 ** int(retry_index))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (shared via the queue's ``queue.json``)."""
+        return {
+            "timeout_s": None if self.timeout_s is None else float(self.timeout_s),
+            "max_retries": int(self.max_retries),
+            "retry_backoff_s": float(self.retry_backoff_s),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExecutionPolicy":
+        """Rebuild a policy from :meth:`to_dict` output."""
+        timeout = payload.get("timeout_s")
+        return cls(
+            timeout_s=None if timeout is None else float(timeout),
+            max_retries=int(payload.get("max_retries", 0)),
+            retry_backoff_s=float(payload.get("retry_backoff_s", 0.0)),
+        )
 
 
 def _subprocess_cell_main(payload: Dict[str, object], conn) -> None:
@@ -190,9 +228,11 @@ def execute_run_with_policy(
 
     ``counter.retries`` counts extra attempts that were needed,
     ``counter.timeouts`` the attempts that hit the wall-clock bound (a
-    retried timeout increments both).  The last attempt's failure
-    propagates unchanged once the retry budget is spent — with the
-    counter already updated.
+    retried timeout increments both).  Between attempts the policy's
+    exponential backoff is honoured (``backoff_delay(0)`` before the
+    first retry, doubling after).  The last attempt's failure propagates
+    unchanged once the retry budget is spent — with the counter already
+    updated.
     """
     counter = counter if counter is not None else AttemptCounter()
     if policy is None or policy.is_default:
@@ -217,6 +257,9 @@ def execute_run_with_policy(
             if attempt + 1 >= attempts:
                 raise
             counter.retries += 1
+        delay = policy.backoff_delay(attempt)
+        if delay > 0:
+            time.sleep(delay)
     raise AssertionError("unreachable: the attempt loop returns or raises")
 
 
@@ -229,6 +272,12 @@ class ExecutionBackend(abc.ABC):
     last_run_retries: int = 0
     #: Attempts of the last :meth:`run` that hit the per-cell timeout.
     last_run_timeouts: int = 0
+    #: Cells the last :meth:`run` saw claimed by a worker (queue backend).
+    last_run_claimed: int = 0
+    #: Worker leases that expired during the last :meth:`run` (queue backend).
+    last_run_expired_leases: int = 0
+    #: Cells that ended DEAD in the last :meth:`run` (queue backend).
+    last_run_dead: int = 0
 
     @abc.abstractmethod
     def run(
@@ -394,10 +443,177 @@ class ProcessPoolBackend(ExecutionBackend):
         return list(artifacts)
 
 
+class QueueBackend(ExecutionBackend):
+    """Durable lease-based queue backend: sweeps that survive worker churn.
+
+    Cells are enqueued (idempotently, by content key) into a file-backed
+    :class:`~repro.experiments.queue.WorkQueue`; any number of worker
+    processes — spawned locally by this backend and/or started by hand
+    via ``python -m repro.experiments.worker <queue-dir>`` on any host
+    sharing the filesystem — claim cells under a TTL lease, renew it by
+    heartbeat, and publish artifacts through the content-keyed result
+    store.  :meth:`run` waits for every cell to reach a terminal state
+    and reassembles the results in input order, so from the Runner's
+    perspective this backend is just a slower-to-start, crash-proof
+    sibling of the process pool: artifacts are bit-identical to serial
+    execution.
+
+    Robustness semantics:
+
+    * a worker that dies (SIGKILL, OOM, node loss) stops renewing its
+      lease; once the TTL passes, *any* process — another worker or the
+      waiting backend itself — expires the lease and the cell returns to
+      PENDING;
+    * a cell that keeps failing (or keeps killing its workers) is
+      retried with exponential backoff up to ``policy.max_retries``
+      extra attempts and then moves to DEAD — reported as a placeholder
+      artifact, never silently dropped;
+    * a fresh :meth:`run` against an existing queue directory resumes
+      from the work log: completed cells are collected instantly,
+      missing ones are (re-)enqueued by content key.
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        queue_dir: PathLike,
+        workers: Optional[int] = None,
+        lease_ttl: float = 30.0,
+        poll_interval: float = 0.2,
+        wait_timeout_s: Optional[float] = None,
+    ) -> None:
+        if workers is not None and int(workers) < 0:
+            raise ValueError("workers must be >= 0 (0 = external workers only)")
+        self.queue_dir = Path(queue_dir)
+        #: Local worker subprocesses spawned per run; 0 means the backend
+        #: only waits — workers are attached externally (other processes
+        #: or hosts).  ``None`` defaults to one local worker.
+        self.workers = 1 if workers is None else int(workers)
+        self.lease_ttl = float(lease_ttl)
+        self.poll_interval = float(poll_interval)
+        self.wait_timeout_s = wait_timeout_s
+
+    def _spawn_worker(self, index: int) -> subprocess.Popen:
+        # The worker re-imports repro; make sure it resolves to the same
+        # installation even when the parent runs off a bare PYTHONPATH.
+        import repro
+
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root + (os.pathsep + existing if existing else "")
+            )
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.worker",
+                str(self.queue_dir),
+                "--worker-id",
+                f"local-{index}-{uuid.uuid4().hex[:6]}",
+                "--exit-when-done",
+            ],
+            env=env,
+        )
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        on_result: Optional[ResultCallback] = None,
+        policy: Optional[ExecutionPolicy] = None,
+    ) -> List[RunArtifact]:
+        from repro.experiments.artifacts import dead_cell_artifact
+        from repro.experiments.queue import WorkQueue
+
+        specs = list(specs)
+        self.last_run_retries = 0
+        self.last_run_timeouts = 0
+        self.last_run_claimed = 0
+        self.last_run_expired_leases = 0
+        self.last_run_dead = 0
+        if not specs:
+            return []
+        queue = WorkQueue(self.queue_dir, lease_ttl=self.lease_ttl, policy=policy)
+        keys = queue.enqueue_all(specs)
+        index_of = {key: index for index, key in enumerate(keys)}
+        artifacts: List[Optional[RunArtifact]] = [None] * len(specs)
+        settled: set = set()
+        procs = [self._spawn_worker(i) for i in range(self.workers)]
+        deadline = (
+            None if self.wait_timeout_s is None else time.monotonic() + self.wait_timeout_s
+        )
+        try:
+            while len(settled) < len(specs):
+                # Drive lease expiry from the waiting side too: recovery
+                # must not depend on a surviving worker noticing.
+                queue.expire_leases()
+                states = queue.states()
+                for key in keys:
+                    if key in settled:
+                        continue
+                    state = states.get(key)
+                    if state is None:
+                        continue
+                    if state.value == "completed":
+                        artifact = queue.load_result(key)
+                        if artifact is None:
+                            continue  # torn write; the queue will re-run it
+                        settled.add(key)
+                        artifacts[index_of[key]] = artifact
+                        if on_result is not None:
+                            on_result(index_of[key], artifact)
+                    elif state.value == "dead":
+                        settled.add(key)
+                        info = queue.dead_info(key) or {}
+                        artifacts[index_of[key]] = dead_cell_artifact(
+                            specs[index_of[key]],
+                            error=str(info.get("error", "cell died in the queue")),
+                            attempts=queue.attempts(key),
+                        )
+                if len(settled) >= len(specs):
+                    break
+                if procs and all(proc.poll() is not None for proc in procs):
+                    failed = [proc.returncode for proc in procs if proc.returncode]
+                    if failed:
+                        raise RuntimeError(
+                            f"all local queue workers exited (return codes {failed}) "
+                            f"with unsettled cells remaining in {self.queue_dir}"
+                        )
+                    # Workers exited cleanly yet cells remain unsettled:
+                    # they are inside a backoff window — spin one back up.
+                    procs = [self._spawn_worker(len(procs))]
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"queue sweep did not settle within {self.wait_timeout_s:.0f}s "
+                        f"({len(settled)}/{len(specs)} cells terminal)"
+                    )
+                time.sleep(self.poll_interval)
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+            status = queue.status()
+            self.last_run_claimed = status.claims
+            self.last_run_expired_leases = status.expired_leases
+            self.last_run_dead = status.dead
+            # Queue-side retries = attempts beyond the first claim.
+            self.last_run_retries = max(0, status.claims - len(specs))
+        return list(artifacts)
+
+
 #: Backend-name registry used by :func:`make_backend` and the CLI flags.
 BACKENDS: Dict[str, type] = {
     SerialBackend.name: SerialBackend,
     ProcessPoolBackend.name: ProcessPoolBackend,
+    QueueBackend.name: QueueBackend,
 }
 
 
@@ -405,13 +621,18 @@ def make_backend(
     backend: Union[str, ExecutionBackend] = "serial",
     workers: Optional[int] = None,
     resolver: Optional[SchedulerResolver] = None,
+    queue_dir: Optional[PathLike] = None,
+    lease_ttl: float = 30.0,
 ) -> ExecutionBackend:
     """Build an execution backend from a name (or pass an instance through).
 
-    ``workers`` selects the pool size for the process backend; asking for
-    more than one worker with ``backend="serial"`` is an error (pick the
-    process backend instead), as is a resolver with the process backend
-    (resolvers cannot be shipped to workers).
+    ``workers`` selects the pool size for the process backend and the
+    number of locally-spawned worker processes for the queue backend
+    (0 = wait for externally-attached workers); asking for more than one
+    worker with ``backend="serial"`` is an error (pick the process
+    backend instead), as is a resolver with the process or queue backend
+    (resolvers cannot be shipped to workers).  ``queue_dir`` is required
+    by — and only meaningful for — the queue backend.
     """
     if isinstance(backend, ExecutionBackend):
         return backend
@@ -420,6 +641,14 @@ def make_backend(
         raise ValueError(
             f"unknown backend {backend!r}; available: {', '.join(sorted(BACKENDS))}"
         )
+    if name == QueueBackend.name:
+        if resolver is not None:
+            raise ValueError("the queue backend resolves schedulers via the registry only")
+        if queue_dir is None:
+            raise ValueError("the queue backend needs a queue_dir")
+        return QueueBackend(queue_dir, workers=workers, lease_ttl=lease_ttl)
+    if queue_dir is not None:
+        raise ValueError("queue_dir is only meaningful with backend='queue'")
     if name == SerialBackend.name:
         if workers is not None and int(workers) > 1:
             raise ValueError("the serial backend is single-worker; use backend='process'")

@@ -7,8 +7,11 @@ specs and the execution backends::
     runner = Runner(backend="process", workers=4, cache_dir="results/cells")
     sweep = runner.run(spec, resume=True)
 
-* **Backends** — ``backend="serial"`` or ``"process"`` (see
-  :mod:`repro.experiments.backends`); an :class:`ExecutionBackend`
+* **Backends** — ``backend="serial"``, ``"process"`` or ``"queue"``
+  (the durable lease-based work queue for sweeps that must survive
+  worker churn — pass ``queue_dir=``; see
+  :mod:`repro.experiments.backends` and
+  :mod:`repro.experiments.queue`); an :class:`ExecutionBackend`
   instance is also accepted.
 * **Caching** — with a ``cache_dir``, every executed cell is written to
   ``cell-<content-key>.json``.  The key hashes the *entire* cell spec, so
@@ -58,7 +61,11 @@ class RunnerStats:
     ``retried_cells`` counts extra attempts the execution policy spent
     (a cell retried twice contributes two); ``timed_out_cells`` counts
     attempts that hit the per-cell timeout (a timeout that a retry then
-    recovered still counts — it is a signal the budget is tight).
+    recovered still counts — it is a signal the budget is tight).  The
+    queue backend adds its lifecycle counters: ``claimed_cells`` (worker
+    claims, including re-claims after churn), ``expired_leases`` (dead
+    workers whose cells were recovered) and ``dead_cells`` (cells that
+    exhausted their retry budget and were reported as placeholders).
     """
 
     total_cells: int = 0
@@ -67,6 +74,9 @@ class RunnerStats:
     wall_time: float = 0.0
     retried_cells: int = 0
     timed_out_cells: int = 0
+    claimed_cells: int = 0
+    expired_leases: int = 0
+    dead_cells: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view for logs and reports."""
@@ -77,6 +87,9 @@ class RunnerStats:
             "wall_time": self.wall_time,
             "retried_cells": self.retried_cells,
             "timed_out_cells": self.timed_out_cells,
+            "claimed_cells": self.claimed_cells,
+            "expired_leases": self.expired_leases,
+            "dead_cells": self.dead_cells,
         }
 
     def describe(self) -> str:
@@ -85,11 +98,16 @@ class RunnerStats:
             f"{self.total_cells} cells: {self.executed_cells} executed, "
             f"{self.cached_cells} from cache in {self.wall_time:.1f}s"
         )
+        parts = []
         if self.retried_cells or self.timed_out_cells:
-            line += (
-                f" ({self.retried_cells} retried, "
-                f"{self.timed_out_cells} timed out)"
-            )
+            parts.append(f"{self.retried_cells} retried")
+            parts.append(f"{self.timed_out_cells} timed out")
+        if self.expired_leases:
+            parts.append(f"{self.expired_leases} leases expired")
+        if self.dead_cells:
+            parts.append(f"{self.dead_cells} dead")
+        if parts:
+            line += " (" + ", ".join(parts) + ")"
         return line
 
 
@@ -104,10 +122,23 @@ class Runner:
         resolver: Optional[SchedulerResolver] = None,
         timeout_s: Optional[float] = None,
         max_retries: int = 0,
+        retry_backoff_s: float = 0.0,
+        queue_dir: Optional[PathLike] = None,
+        lease_ttl: float = 30.0,
     ) -> None:
-        self.backend = make_backend(backend, workers=workers, resolver=resolver)
+        self.backend = make_backend(
+            backend,
+            workers=workers,
+            resolver=resolver,
+            queue_dir=queue_dir,
+            lease_ttl=lease_ttl,
+        )
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        self.policy = ExecutionPolicy(timeout_s=timeout_s, max_retries=max_retries)
+        self.policy = ExecutionPolicy(
+            timeout_s=timeout_s,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
+        )
         self.stats = RunnerStats()
 
     # -- public API ---------------------------------------------------------------------
@@ -143,6 +174,9 @@ class Runner:
                 wall_time=time.perf_counter() - start,
                 retried_cells=self.backend.last_run_retries,
                 timed_out_cells=self.backend.last_run_timeouts,
+                claimed_cells=self.backend.last_run_claimed,
+                expired_leases=self.backend.last_run_expired_leases,
+                dead_cells=self.backend.last_run_dead,
             )
         for index, artifact in zip(pending, fresh):
             artifacts[index] = artifact
@@ -176,7 +210,9 @@ class Runner:
 
     def _store(self, artifact: RunArtifact) -> None:
         path = self.cell_path(artifact.spec)
-        if path is None:
+        # Dead-cell placeholders must never enter the cache: a --resume
+        # should re-attempt the cell, not re-serve the failure.
+        if path is None or artifact.is_dead:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(artifact.to_json() + "\n")
@@ -190,6 +226,9 @@ def run_experiment(
     resume: bool = False,
     timeout_s: Optional[float] = None,
     max_retries: int = 0,
+    retry_backoff_s: float = 0.0,
+    queue_dir: Optional[PathLike] = None,
+    lease_ttl: float = 30.0,
 ) -> SweepArtifact:
     """One-shot convenience wrapper around :class:`Runner`."""
     return Runner(
@@ -198,4 +237,7 @@ def run_experiment(
         cache_dir=cache_dir,
         timeout_s=timeout_s,
         max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
+        queue_dir=queue_dir,
+        lease_ttl=lease_ttl,
     ).run(spec, resume=resume)

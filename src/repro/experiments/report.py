@@ -189,7 +189,10 @@ def build_sweep_report(
         )
         lines.append("")
 
-    if reference in spec.schedulers:
+    # relative_to divides by the reference cell's mean, which a dead
+    # placeholder cannot provide — skip the ratio table in that case
+    # (the "Dead cells" section below explains why).
+    if reference in spec.schedulers and not sweep.dead_runs():
         relative = sweep.relative_to(reference, "jct")
         lines.append(f"## Relative JCT, {reference} = 1.0 (Fig. 18)")
         lines.append("")
@@ -199,6 +202,68 @@ def build_sweep_report(
                     {"scheduler": name, **{f"{c} GPUs": by_cap.get(c, float("nan"))
                                            for c in spec.capacities}}
                     for name, by_cap in relative.items()
+                ]
+            )
+        )
+        lines.append("")
+
+    # Robustness sweeps carry a fault axis: surface the recovery metrics
+    # (goodput, evictions, restarts, lost GPU-seconds, downtime) and the
+    # JCT-degradation headline for every faulted slice of the grid.
+    for fault_index, fault in enumerate(spec.faults):
+        if fault is None:
+            continue
+        lines.append(f"## Fault recovery — {fault.describe()}")
+        lines.append("")
+        if None in spec.faults:
+            degradation = sweep.fault_degradation("jct", fault_index=fault_index)
+            lines.append("JCT degradation vs the zero-fault twin cells "
+                         "(1.0 = faults fully absorbed):")
+            lines.append("")
+            lines.append(
+                _markdown_table(
+                    [
+                        {"scheduler": name, "JCT degradation": value}
+                        for name, value in degradation.items()
+                    ]
+                )
+            )
+            lines.append("")
+        recovery_rows = [
+            {
+                "cell": row["cell"],
+                "avg JCT (s)": row["average_jct"],
+                "goodput": row["goodput"],
+                "evictions": row["evictions"],
+                "restarts": row["restarts"],
+                "lost GPU-s": row["lost_gpu_seconds"],
+                "downtime GPU-s": row["downtime_gpu_seconds"],
+                "incomplete": row["incomplete"],
+            }
+            for row in sweep.recovery_table(fault_index=fault_index)
+        ]
+        lines.append(_markdown_table(recovery_rows))
+        lines.append("")
+
+    dead = sweep.dead_runs()
+    if dead:
+        lines.append("## Dead cells")
+        lines.append("")
+        lines.append(
+            "The following cells exhausted their retry budget and are "
+            "reported as placeholders — their metrics are excluded from "
+            "every table above."
+        )
+        lines.append("")
+        lines.append(
+            _markdown_table(
+                [
+                    {
+                        "cell": run.spec.label(),
+                        "cell_key": run.spec.cell_key(),
+                        "error": (run.error or "")[:80],
+                    }
+                    for run in dead
                 ]
             )
         )

@@ -163,6 +163,66 @@ class TestSweepCommand:
         assert "advance_s" in out
 
 
+class TestQueueBackendCLI:
+    def test_queue_backend_requires_queue_dir(self):
+        with pytest.raises(SystemExit, match="queue-dir"):
+            main(["sweep", "--capacities", "8", "--jobs", "3", "--backend", "queue"])
+
+    def test_queue_dir_requires_queue_backend(self, tmp_path):
+        with pytest.raises(SystemExit, match="backend queue"):
+            main(["sweep", "--capacities", "8", "--jobs", "3",
+                  "--queue-dir", str(tmp_path / "q")])
+
+    def test_sweep_on_queue_backend_and_queue_status(self, tmp_path, capsys):
+        queue_dir = tmp_path / "qdir"
+        code = main([
+            "sweep", "--capacities", "8", "--schedulers", "fifo",
+            "--jobs", "3", "--arrival-interval", "10", "--seeds", "4",
+            "--backend", "queue", "--queue-dir", str(queue_dir), "--workers", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 cells: 1 executed" in out
+        assert "queue backend" in out
+        # The durable state survives the sweep and is inspectable.
+        code = main(["queue-status", str(queue_dir), "--cells"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 cells" in out
+        assert "completed" in out
+        assert "FIFO@8g/seed4" in out
+
+    def test_queue_status_rejects_non_queue_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="queue.json"):
+            main(["queue-status", str(tmp_path)])
+
+    def test_dead_cells_exit_nonzero_with_summary_table(self, tmp_path, capsys,
+                                                        monkeypatch):
+        # Poison one cell after the grid expands: the sweep must finish,
+        # print the dead-cell table and exit non-zero (satellite of the
+        # queue-robustness PR; exercised end to end in the queue tests).
+        import repro.cli as cli
+        from repro.experiments.artifacts import SweepArtifact, dead_cell_artifact
+        from repro.experiments.backends import execute_run
+
+        def fake_run_grid(runner, spec, resume):
+            cells = spec.expand()
+            runs = [execute_run(cells[0]),
+                    dead_cell_artifact(cells[1], "RuntimeError: poisoned", attempts=2)]
+            return SweepArtifact(spec=spec, runs=runs)
+
+        monkeypatch.setattr(cli, "_run_grid", fake_run_grid)
+        code = main([
+            "sweep", "--capacities", "8", "--schedulers", "fifo", "srtf",
+            "--jobs", "3", "--arrival-interval", "10", "--seeds", "4",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "ERROR: 1 of 2 cells ended dead" in out
+        assert "poisoned" in out
+        assert "SRTF@8g/seed4" in out
+
+
 class TestSchedulersCommand:
     def test_cli_sees_schedulers_registered_after_import(self, capsys):
         """SCHEDULERS is a live registry view, not an import-time snapshot."""

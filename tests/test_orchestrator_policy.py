@@ -97,6 +97,21 @@ class TestExecutionPolicy:
         assert not ExecutionPolicy(timeout_s=5.0).is_default
         assert not ExecutionPolicy(max_retries=1).is_default
 
+    def test_backoff_validation_and_schedule(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(retry_backoff_s=-1.0)
+        policy = ExecutionPolicy(max_retries=3, retry_backoff_s=2.0)
+        assert not policy.is_default
+        assert [policy.backoff_delay(i) for i in range(3)] == [2.0, 4.0, 8.0]
+        assert ExecutionPolicy().backoff_delay(5) == 0.0  # no base -> no waiting
+
+    def test_policy_round_trips_through_dict(self):
+        # The queue backend persists the policy in queue.json; every field
+        # must survive the round trip so workers see the same guard-rails.
+        policy = ExecutionPolicy(timeout_s=7.5, max_retries=2, retry_backoff_s=1.25)
+        assert ExecutionPolicy.from_dict(policy.to_dict()) == policy
+        assert ExecutionPolicy.from_dict(ExecutionPolicy().to_dict()) == ExecutionPolicy()
+
     def test_default_policy_is_plain_execution(self):
         artifact = execute_run_with_policy(_spec(), None)
         assert artifact.spec == _spec()
@@ -161,6 +176,37 @@ class TestRetries:
         assert runner.stats.retried_cells == 1
         assert runner.stats.timed_out_cells == 0
         assert "(1 retried, 0 timed out)" in runner.stats.describe()
+
+    def test_retry_backoff_sleeps_between_attempts(self, flaky_registered, tmp_path,
+                                                   monkeypatch):
+        import repro.experiments.backends as backends_module
+
+        slept = []
+        monkeypatch.setattr(backends_module.time, "sleep", slept.append)
+        marker = str(tmp_path / "flaky-marker")
+        spec = _grid(
+            scheduler=flaky_registered,
+            scheduler_options={flaky_registered: {"marker": marker}},
+        )
+        runner = Runner(max_retries=2, retry_backoff_s=3.0)
+        sweep = runner.run(spec)
+        assert len(sweep.runs) == 1
+        # One failed attempt -> one backoff sleep of the base delay; the
+        # second attempt succeeds so the doubled delay is never paid.
+        assert slept == [3.0]
+
+    def test_no_backoff_means_no_sleep(self, flaky_registered, tmp_path, monkeypatch):
+        import repro.experiments.backends as backends_module
+
+        slept = []
+        monkeypatch.setattr(backends_module.time, "sleep", slept.append)
+        marker = str(tmp_path / "flaky-marker")
+        spec = _grid(
+            scheduler=flaky_registered,
+            scheduler_options={flaky_registered: {"marker": marker}},
+        )
+        Runner(max_retries=1).run(spec)
+        assert slept == []
 
     def test_exhausted_retries_reraise(self, flaky_registered, tmp_path):
         # Without a retry budget the first (failing) attempt is final.
