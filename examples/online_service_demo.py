@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Two tenants share a live scheduler service for one simulated day.
+
+Stands up the scheduler service *in process* (no sockets needed — the
+CLI ``serve``/``submit`` verbs speak the same engine over JSONL/TCP) and
+drives it with two tenants of very different temperament:
+
+* ``research`` — a diurnal arrival stream (busy days, quiet nights) of
+  small CV jobs, generously quota'd;
+* ``prod`` — a steady Poisson trickle of larger NLP fine-tuning jobs,
+  capped at 8 outstanding GPUs, so some submissions bounce off the
+  admission layer.
+
+Submissions arrive in virtual time over a 24-hour window while ONES
+re-packs the cluster continuously.  The demo prints each tenant's
+decision ledger, the decision-latency SLO view, and the final per-tenant
+goodput after the cluster runs dry.
+
+Run with::
+
+    python examples/online_service_demo.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.reporting import format_table
+from repro.service.engine import SchedulerService
+from repro.service.load import arrival_summary, generate_submissions
+from repro.service.schemas import ServiceConfig, TenantQuota
+from repro.workload.arrivals import ArrivalConfig
+
+DAY = 24 * 3600.0
+
+
+def main() -> None:
+    service = SchedulerService(
+        ServiceConfig(
+            num_gpus=32,
+            scheduler="ONES",
+            seed=2021,
+            mode="virtual",
+            tenants=(
+                TenantQuota(tenant="research", max_gpus=24),
+                TenantQuota(tenant="prod", max_gpus=8, max_active=4),
+            ),
+        )
+    )
+
+    base = ArrivalConfig(rate=1.0 / 1800.0, seed=2021, period_hours=24.0)
+    load = generate_submissions(
+        ["research"], 40, arrivals=replace(base, profile="diurnal", rate=1.0 / 1200.0),
+        gpu_choices=(1, 2, 4), gpu_weights=(0.5, 0.3, 0.2), job_types=("cv",),
+    ) + generate_submissions(
+        ["prod"], 15, arrivals=base,
+        gpu_choices=(2, 4), gpu_weights=(0.6, 0.4), job_types=("nlp",),
+    )
+    # A 9am prod burst: five 4-GPU jobs land at once, overrunning prod's
+    # 8-GPU quota — the admission layer bounces the overflow.
+    from repro.service.schemas import JobSubmission
+
+    load += [
+        JobSubmission(tenant="prod", job_type="nlp", replicas=4,
+                      name=f"prod-burst-{i}", arrival_time=9 * 3600.0 + i)
+        for i in range(5)
+    ]
+    load = [s for s in load if s.arrival_time <= DAY]
+    load.sort(key=lambda s: (s.arrival_time, s.tenant))
+    print("Generated load:", arrival_summary(load))
+    print()
+
+    for submission in load:
+        decision = service.submit(submission)
+        if decision.status == "rejected":
+            print(
+                f"  t={decision.virtual_time / 3600.0:5.1f}h  "
+                f"{submission.tenant:>8}  REJECTED  {decision.reason}"
+            )
+
+    status = service.status()
+    print()
+    print(
+        f"After the last arrival (virtual t={status['virtual_time'] / 3600.0:.1f}h): "
+        f"{status['jobs_total']} jobs admitted, {status['jobs_completed']} already "
+        f"done, queue depth {status['queue_depth']}, {status['gpus_busy']} GPUs busy"
+    )
+    print(format_table([
+        {
+            "tenant": name,
+            "submitted": row["submitted"],
+            "placed": row["placed"],
+            "queued": row["queued"],
+            "rejected": row["rejected"],
+            "p50 ms": round(row["decision_latency"]["p50_ms"], 2),
+            "p99 ms": round(row["decision_latency"]["p99_ms"], 2),
+        }
+        for name, row in status["tenants"].items()
+    ]))
+
+    result = service.drain()
+    metrics = service.metrics()
+    print()
+    print(
+        f"Cluster drained at t={service.now / 3600.0:.1f}h: "
+        f"{len(result.completed)} completed / {len(result.incomplete)} incomplete, "
+        f"avg JCT {result.average_jct / 60.0:.1f} min, "
+        f"GPU utilisation {result.gpu_utilization:.0%}"
+    )
+    print(format_table([
+        {
+            "tenant": name,
+            "completed": row["completed"],
+            "mean JCT (min)": round(row["mean_jct"] / 60.0, 1),
+            "goodput (GPU-h)": round(row["service_seconds"] / 3600.0, 1),
+        }
+        for name, row in sorted(metrics["goodput_by_tenant"].items())
+    ]))
+    overall = metrics["decision_latency"]
+    print()
+    print(
+        f"Decision latency over {int(overall['count'])} decisions: "
+        f"p50 {overall['p50_ms']:.2f} ms, p99 {overall['p99_ms']:.2f} ms "
+        f"({metrics['submissions_per_second']:.0f} submissions/s sustained)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,16 @@ Installed as the ``repro-ones`` console script (also runnable as
     Attach a queue worker to a durable queue directory (see below).
 ``queue-status``
     Inspect a queue directory: per-state cell counts and per-cell rows.
+``serve``
+    Stand up the scheduler service: a live simulator accepting online
+    job submissions over a JSONL/TCP socket (see
+    :mod:`repro.service`).
+``submit``
+    Submit one job — or an arrival-profile-driven batch — to a running
+    service and print the placement decisions.
+``service-status``
+    Query a running service: control-plane status, ``--metrics`` for
+    decision-latency histograms, or ``--drain`` to run it dry.
 ``schedulers``
     List every scheduler in the registry with its Table-3 capabilities.
 ``fault-profiles``
@@ -207,6 +217,75 @@ def build_parser() -> argparse.ArgumentParser:
     qstatus.add_argument("queue_dir", type=Path)
     qstatus.add_argument("--cells", action="store_true",
                          help="also print one row per cell")
+    qstatus.add_argument("--json", action="store_true",
+                         help="emit a machine-readable snapshot (states, cells, "
+                              "lease ages) instead of the tables")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the scheduler service (online submissions over JSONL/TCP)",
+        description="Stand up a live simulated cluster behind a JSONL-over-TCP "
+                    "submission API. In --mode virtual the clock advances only "
+                    "with events (deterministic replay); in --mode wall it "
+                    "follows wall-clock at --time-scale virtual seconds per "
+                    "second. Stop with SIGTERM/SIGINT (clean exit) or the "
+                    "client's shutdown op.",
+    )
+    serve.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="ones")
+    serve.add_argument("--gpus", type=int, default=64, help="cluster size (multiple of 4)")
+    serve.add_argument("--seed", type=int, default=2021)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (default 7061; 0 picks an ephemeral port)")
+    serve.add_argument("--mode", choices=["virtual", "wall"], default="virtual")
+    serve.add_argument("--time-scale", type=float, default=60.0,
+                       help="virtual seconds per wall second in wall mode")
+    serve.add_argument("--max-time", type=float, default=14 * 24 * 3600.0,
+                       help="virtual-time horizon of the service (seconds)")
+    serve.add_argument("--tenant", action="append", default=None, metavar="NAME[:GPUS[:JOBS]]",
+                       help="register a tenant with optional max outstanding GPUs "
+                            "and max active jobs; repeatable. No --tenant = open "
+                            "admission (tenants auto-register unlimited)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit jobs to a running scheduler service",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=None)
+    submit.add_argument("--tenant", required=True)
+    submit.add_argument("--job-type", choices=["cv", "nlp", "any"], default="any")
+    submit.add_argument("--workload", default="",
+                        help="concrete Table-2 template name (overrides --job-type)")
+    submit.add_argument("--replicas", type=int, default=1)
+    submit.add_argument("--gpus-per-replica", type=int, default=1)
+    submit.add_argument("--name", default="", help="client label echoed in decisions")
+    submit.add_argument("--at", type=float, default=None, metavar="T",
+                        help="explicit virtual arrival time (default: service clock)")
+    submit.add_argument("--count", type=int, default=1,
+                        help="submit a batch of N jobs driven by --arrival-profile")
+    submit.add_argument("--arrival-profile", choices=["poisson", "diurnal", "bursty"],
+                        default="poisson",
+                        help="arrival process for --count > 1 batches")
+    submit.add_argument("--arrival-interval", type=float, default=30.0,
+                        help="mean seconds between batch arrivals")
+    submit.add_argument("--arrival-seed", type=int, default=2021)
+    submit.add_argument("--json", action="store_true",
+                        help="print raw decision JSON, one object per line")
+
+    svc_status = sub.add_parser(
+        "service-status",
+        help="query a running scheduler service",
+    )
+    svc_status.add_argument("--host", default="127.0.0.1")
+    svc_status.add_argument("--port", type=int, default=None)
+    svc_status.add_argument("--metrics", action="store_true",
+                            help="also print decision-latency and goodput metrics")
+    svc_status.add_argument("--drain", action="store_true",
+                            help="close the submission stream, run the cluster dry "
+                                 "and print the final result summary")
+    svc_status.add_argument("--json", action="store_true",
+                            help="emit raw JSON instead of tables")
 
     scheds = sub.add_parser("schedulers", help="list the scheduler registry (Table 3)")
     scheds.add_argument("--paper-only", action="store_true",
@@ -599,6 +678,8 @@ def cmd_worker(args) -> int:
 
 
 def cmd_queue_status(args) -> int:
+    import json as _json
+
     from repro.experiments.queue import WorkQueue
 
     queue_dir = Path(args.queue_dir)
@@ -606,6 +687,9 @@ def cmd_queue_status(args) -> int:
         raise SystemExit(f"{queue_dir} is not a queue directory (no queue.json)")
     queue = WorkQueue(queue_dir)
     status = queue.status()
+    if args.json:
+        print(_json.dumps(queue.as_json(), indent=2, sort_keys=True))
+        return 0 if not status.dead else 1
     print(f"Queue {queue.path} — {status.total} cells "
           f"(lease TTL {queue.lease_ttl:.1f}s, retries {queue.policy.max_retries})")
     print(format_table([
@@ -616,6 +700,149 @@ def cmd_queue_status(args) -> int:
         if rows:
             print(format_table(rows))
     return 0 if not status.dead else 1
+
+
+def _parse_tenant_flag(raw: str):
+    """``NAME[:GPUS[:JOBS]]`` → :class:`~repro.service.schemas.TenantQuota`."""
+    from repro.service.schemas import TenantQuota
+
+    parts = raw.split(":")
+    if len(parts) > 3 or not parts[0]:
+        raise SystemExit(f"bad --tenant {raw!r}: expected NAME[:GPUS[:JOBS]]")
+    kwargs = {"tenant": parts[0]}
+    if len(parts) > 1 and parts[1]:
+        kwargs["max_gpus"] = int(parts[1])
+    if len(parts) > 2 and parts[2]:
+        kwargs["max_active"] = int(parts[2])
+    return TenantQuota(**kwargs)
+
+
+def cmd_serve(args) -> int:
+    from repro.experiments.registry import resolve as _resolve
+    from repro.service.http import DEFAULT_PORT, run_server
+    from repro.service.schemas import ServiceConfig
+
+    config = ServiceConfig(
+        num_gpus=args.gpus,
+        scheduler=_resolve(args.scheduler).name,
+        seed=args.seed,
+        mode=args.mode,
+        time_scale=args.time_scale,
+        max_time=args.max_time,
+        tenants=tuple(_parse_tenant_flag(raw) for raw in (args.tenant or [])),
+    )
+    port = args.port if args.port is not None else DEFAULT_PORT
+    return run_server(config, host=args.host, port=port)
+
+
+def cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.service.http import DEFAULT_PORT, ServiceClient
+    from repro.service.schemas import JobSubmission
+    from repro.workload.arrivals import ArrivalConfig
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    base = dict(
+        tenant=args.tenant,
+        job_type=args.job_type,
+        workload=args.workload,
+        replicas=args.replicas,
+        gpus_per_replica=args.gpus_per_replica,
+        name=args.name,
+    )
+    if args.count < 1:
+        raise SystemExit("--count must be >= 1")
+    with ServiceClient(args.host, port) as client:
+        if args.count == 1:
+            submissions = [JobSubmission(arrival_time=args.at, **base)]
+        else:
+            offsets = ArrivalConfig(
+                profile=args.arrival_profile,
+                rate=1.0 / args.arrival_interval,
+                seed=args.arrival_seed,
+            ).generate(args.count)
+            # Anchor the stream at --at, or at the service's current
+            # virtual time so the arrival profile spreads out either way.
+            start = args.at
+            if start is None:
+                start = float(client.status()["virtual_time"])
+            submissions = [
+                JobSubmission(
+                    arrival_time=start + float(t),
+                    **{**base, "name": f"{args.name or args.tenant}-{i:05d}"},
+                )
+                for i, t in enumerate(offsets)
+            ]
+        decisions = client.submit_batch(submissions)
+    if args.json:
+        for decision in decisions:
+            print(_json.dumps(decision, sort_keys=True))
+    else:
+        print(format_table([
+            {
+                "job": d["job_id"] or "-",
+                "status": d["status"],
+                "gpus": len(d["gpu_ids"]),
+                "t": round(d["virtual_time"], 1),
+                "latency_ms": round(d["decision_latency_ms"], 2),
+                "reason": d["reason"][:48],
+            }
+            for d in decisions
+        ]))
+    rejected = sum(1 for d in decisions if d["status"] == "rejected")
+    return 0 if rejected == 0 else 1
+
+
+def cmd_service_status(args) -> int:
+    import json as _json
+
+    from repro.service.http import DEFAULT_PORT, ServiceClient
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    with ServiceClient(args.host, port) as client:
+        status = client.status()
+        metrics = client.metrics() if args.metrics else None
+        summary = client.drain() if args.drain else None
+    if args.json:
+        payload = {"status": status}
+        if metrics is not None:
+            payload["metrics"] = metrics
+        if summary is not None:
+            payload["result"] = summary
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"Service: {status['scheduler']} on {status['num_gpus']} GPUs "
+          f"({status['mode']} time), virtual t={status['virtual_time']:.1f}s, "
+          f"uptime {status['wall_uptime_s']:.1f}s")
+    print(f"Submissions: {status['submissions']}  jobs: {status['jobs_total']} "
+          f"({status['jobs_completed']} completed, queue depth "
+          f"{status['queue_depth']}, {status['gpus_busy']} GPUs busy)")
+    if status["tenants"]:
+        print(format_table([
+            {
+                "tenant": name,
+                "submitted": row["submitted"],
+                "placed": row["placed"],
+                "queued": row["queued"],
+                "rejected": row["rejected"],
+                "completed": row["completed"],
+                "active": row["active_jobs"],
+                "gpus_out": row["outstanding_gpus"],
+                "p99_ms": round(row["decision_latency"]["p99_ms"], 2),
+            }
+            for name, row in status["tenants"].items()
+        ]))
+    if metrics is not None:
+        overall = metrics["decision_latency"]
+        print(f"Decision latency: p50 {overall['p50_ms']:.2f} ms, "
+              f"p99 {overall['p99_ms']:.2f} ms over {int(overall['count'])} decisions "
+              f"({metrics['submissions_per_second']:.1f} submissions/s)")
+    if summary is not None:
+        print(f"Drained: {summary['completed_jobs']} completed / "
+              f"{summary['incomplete_jobs']} incomplete, avg JCT "
+              f"{summary['average_jct']:.1f}s, makespan {summary['makespan']:.1f}s")
+    return 0
 
 
 def cmd_schedulers(args) -> int:
@@ -692,6 +919,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": cmd_sweep,
         "worker": cmd_worker,
         "queue-status": cmd_queue_status,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "service-status": cmd_service_status,
         "schedulers": cmd_schedulers,
         "fault-profiles": cmd_fault_profiles,
         "figures": cmd_figures,

@@ -589,3 +589,45 @@ class WorkQueue:
                 }
             )
         return rows
+
+    def as_json(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Machine-readable queue snapshot (the ``queue-status --json`` view).
+
+        Everything the human table shows plus the lease timing of every
+        PROCESSING cell: ``lease_age_s`` (how long the current attempt
+        has held it) and ``lease_remaining_s`` (until the lease expires
+        and the cell becomes re-claimable).  All values are plain JSON
+        types so dashboards and shell pipelines can consume the snapshot
+        without parsing the table layout.
+        """
+        now = time.time() if now is None else now
+        cells: List[Dict[str, object]] = []
+        for key, state in self.states(now).items():
+            cell = self._cells[key]
+            lease = self._read_lease(key) if state is CellState.PROCESSING else None
+            try:
+                label = self.spec(key).label()
+            except (OSError, ValueError, KeyError):
+                label = "?"
+            entry: Dict[str, object] = {
+                "cell": key,
+                "label": label,
+                "state": state.value,
+                "attempts": int(cell.attempts),
+                "claims": int(cell.claims),
+                "expired_leases": int(cell.expiries),
+                "worker": lease.worker if lease else "",
+                "error": cell.error or "",
+            }
+            if lease is not None:
+                remaining = max(lease.deadline - now, 0.0)
+                entry["lease_remaining_s"] = round(remaining, 3)
+                entry["lease_age_s"] = round(max(self.lease_ttl - remaining, 0.0), 3)
+            cells.append(entry)
+        return {
+            "queue_dir": str(self.path),
+            "lease_ttl": float(self.lease_ttl),
+            "max_retries": int(self.policy.max_retries),
+            "states": self.status(now).as_dict(),
+            "cells": cells,
+        }

@@ -75,6 +75,25 @@ class SimulationKernel:
         """Schedule an event (delegates to the deterministic queue)."""
         self.events.push(event)
 
+    def inject(self, event: Event) -> None:
+        """Push an event into a *live* kernel (online submissions).
+
+        Unlike :meth:`push` — which trusts the caller because pre-run
+        trace loading legitimately schedules the whole future — ``inject``
+        is the entry point for events originating *outside* the event
+        loop while it is running (job submissions against a live
+        simulator).  It guards against scheduling into the past: an event
+        earlier than the current clock could never be processed in order
+        and would trip the backwards-time guard (or worse, silently
+        corrupt causality if the clock already moved past it).
+        """
+        if event.time < self.now - 1e-9:
+            raise RuntimeError(
+                f"cannot inject event at t={event.time} into a kernel already "
+                f"at t={self.now} (events must not be scheduled in the past)"
+            )
+        self.events.push(event)
+
     def advance(self, to_time: float) -> None:
         """Advance the clock to ``to_time`` (clamped to never go backwards).
 
@@ -89,6 +108,64 @@ class SimulationKernel:
         to_time = max(to_time, self.now)
         self._advance_hook(to_time)
         self.now = to_time
+
+    # -- incremental stepping (online mode) ---------------------------------------------
+
+    def step(self) -> Optional[Event]:
+        """Process exactly one due event; ``None`` when nothing is processable.
+
+        The stepping twin of :meth:`run`: same clock advance, same
+        profiling, same dispatch — but the caller owns the loop, so new
+        events can be :meth:`inject`\\ ed between steps (a live service
+        interleaving submissions with event processing).  Guards are
+        honoured non-destructively: an event beyond ``max_time`` stays
+        queued (``run`` discards it, but a stepping caller may still
+        raise ``max_time`` and continue).
+        """
+        if not self.events or self.events_processed >= self.max_events:
+            return None
+        if self.events.peek().time > self.max_time:
+            return None
+        event = self.events.pop()
+        self.events_processed += 1
+        profile = self.profile
+        if profile is None:
+            self.advance(event.time)
+        else:
+            start = perf_counter()
+            self.advance(event.time)
+            profile.time_advance(start)
+        handler = self._handlers.get(event.kind)
+        if handler is not None:
+            if profile is None:
+                handler.handle(event)
+            else:
+                start = perf_counter()
+                handler.handle(event)
+                profile.time_handler(event.kind, start)
+        return event
+
+    def run_until(self, to_time: float) -> int:
+        """Process every event *strictly before* ``to_time``; return the count.
+
+        Strictness is what makes online replay bit-identical to offline
+        runs: events at exactly ``to_time`` stay queued, so an event
+        injected *at* ``to_time`` (a job arrival) still sorts against
+        them by the deterministic (time, kind, insertion) order instead
+        of being processed after events it should precede.  The clock is
+        not advanced past the last processed event — the next event (or
+        an explicit :meth:`advance`) moves it.
+        """
+        processed = 0
+        while self.events and self.events_processed < self.max_events:
+            if self.events.peek().time >= to_time:
+                break
+            if self.step() is None:
+                break
+            processed += 1
+            if self._done():
+                break
+        return processed
 
     # -- the loop -----------------------------------------------------------------------
 

@@ -315,8 +315,9 @@ class ClusterSimulator:
         trace: Sequence[JobSpec],
         config: Optional[SimulationConfig] = None,
         overhead_model: Optional[OverheadModel] = None,
+        online: bool = False,
     ) -> None:
-        if not trace:
+        if not trace and not online:
             raise ValueError("trace must contain at least one job")
         job_ids = [spec.job_id for spec in trace]
         if len(set(job_ids)) != len(job_ids):
@@ -330,6 +331,11 @@ class ClusterSimulator:
         )
         self.trace = sorted(trace, key=lambda s: (s.arrival_time, s.job_id))
         self._spec_index = {spec.job_id: spec for spec in self.trace}
+        #: Online mode: the trace grows via :meth:`submit` while the
+        #: kernel is live; :meth:`close` declares the stream finished.
+        self.online = bool(online)
+        self.closed = not self.online
+        self._timer_armed = False
         # runtime state
         self.jobs: Dict[str, Job] = {}
         self.allocation: Allocation = Allocation.empty()
@@ -391,6 +397,7 @@ class ClusterSimulator:
         if self.scheduler.timer_interval is not None:
             first = self.trace[0].arrival_time + self.scheduler.timer_interval
             self.kernel.push(Event(time=first, kind=EventKind.TIMER))
+            self._timer_armed = True
         for injection in self.fault_plan:
             self.kernel.push(
                 Event(
@@ -400,6 +407,79 @@ class ClusterSimulator:
                 )
             )
         self.kernel.run()
+        return self._build_result()
+
+    # -- online mode (live submissions against a running kernel) ------------------------
+
+    def start(self) -> None:
+        """Seed the pre-known events of an online run (fault plan only).
+
+        The online twin of the :meth:`run` preamble: arrivals come in via
+        :meth:`submit` and the periodic timer is armed on the first
+        submission (so its first tick is ``first_arrival + interval``,
+        exactly as in an offline replay).  The caller then drives
+        ``self.kernel`` with ``step()`` / ``run_until()``.
+        """
+        if not self.online:
+            raise RuntimeError("start() is only meaningful in online mode; use run()")
+        for injection in self.fault_plan:
+            self.kernel.push(
+                Event(
+                    time=injection.time,
+                    kind=_FAULT_EVENT_KINDS[injection.kind],
+                    payload=injection,
+                )
+            )
+
+    def submit(self, spec: JobSpec) -> None:
+        """Append a job to a live online run and schedule its arrival.
+
+        The submission contract: job ids are unique, and the arrival time
+        must not lie in the past of the kernel clock (enforced again by
+        :meth:`~repro.sim.kernel.SimulationKernel.inject`).  Submissions
+        keep the trace sorted, so online arrival order — and therefore
+        the deterministic event order — matches an offline replay of the
+        same jobs.
+        """
+        if not self.online:
+            raise RuntimeError("submit() requires online mode")
+        if self.closed:
+            raise RuntimeError("cannot submit to a closed simulator")
+        if spec.job_id in self._spec_index:
+            raise ValueError(f"job id {spec.job_id!r} was already submitted")
+        if self.trace and spec.arrival_time < self.trace[-1].arrival_time - 1e-9:
+            raise ValueError(
+                f"submission at t={spec.arrival_time} arrives before the previous "
+                f"submission at t={self.trace[-1].arrival_time} (arrivals must be "
+                f"monotone in online mode)"
+            )
+        self.trace.append(spec)
+        self._spec_index[spec.job_id] = spec
+        if self.scheduler.timer_interval is not None and not self._timer_armed:
+            self.kernel.inject(
+                Event(
+                    time=spec.arrival_time + self.scheduler.timer_interval,
+                    kind=EventKind.TIMER,
+                )
+            )
+            self._timer_armed = True
+        self.kernel.inject(
+            Event(time=spec.arrival_time, kind=EventKind.JOB_ARRIVAL, job_id=spec.job_id)
+        )
+
+    def close(self) -> None:
+        """Declare the online submission stream finished.
+
+        Until closed, ``_all_done`` never holds: the run is open-ended,
+        so self-re-arming timers keep ticking and the kernel keeps
+        accepting work — matching an offline run whose trace still has
+        unarrived jobs.  After closing, the run drains exactly like an
+        offline one.
+        """
+        self.closed = True
+
+    def build_result(self) -> SimulationResult:
+        """Assemble the result of an online run (callable at any point)."""
         return self._build_result()
 
     # -- state snapshots ------------------------------------------------------------------------
@@ -418,6 +498,11 @@ class ClusterSimulator:
         )
 
     def _all_done(self) -> bool:
+        if not self.closed:
+            # An open online run can always receive more submissions, so
+            # it is never "done" — exactly like an offline run whose
+            # trace still holds unarrived jobs.
+            return False
         if len(self.jobs) < len(self.trace):
             return False
         return all(job.is_completed for job in self.jobs.values())

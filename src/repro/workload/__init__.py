@@ -30,14 +30,22 @@ from repro.workload.replay import (
     trace_statistics,
 )
 from repro.workload.arrivals import (
+    ArrivalConfig,
     ArrivalProcess,
     BurstyArrivals,
     DiurnalArrivals,
     PoissonArrivals,
+    arrival_profile_table,
+    available_arrival_profiles,
     interarrival_statistics,
+    register_arrival_profile,
 )
 
 __all__ = [
+    "ArrivalConfig",
+    "arrival_profile_table",
+    "available_arrival_profiles",
+    "register_arrival_profile",
     "ArrivalProcess",
     "BurstyArrivals",
     "DiurnalArrivals",

@@ -13,14 +13,27 @@ this module provides three arrival processes with a common interface:
 
 Each process produces arrival *timestamps*; the trace generator pairs
 them with workload templates.
+
+On top of the raw processes sits a *declarative* layer in the style of
+the fault-profile registry (:mod:`repro.faults.profiles`): an
+:class:`ArrivalConfig` names a registered profile plus its scalar
+parameters and a seed, JSON round-trips like every other config, and is
+content-hashable via :meth:`ArrivalConfig.config_key`.  Determinism
+contract: generating from a config uses **only** a ``numpy`` generator
+seeded from the config — no wall clock, no ``hash()`` — so the same
+config produces a bit-identical arrival stream in any process regardless
+of ``PYTHONHASHSEED``.  The scheduler service uses these configs as its
+load driver (``repro-ones submit --arrival-profile ...``).
 """
 
 from __future__ import annotations
 
 import abc
+import hashlib
+import json
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -138,6 +151,173 @@ class BurstyArrivals(ArrivalProcess):
             t += gap
             times.append(t)
         return self._finalize(times, num_jobs)
+
+
+# --- the declarative profile registry -------------------------------------------------
+
+#: Profile signature: ``(config) -> ArrivalProcess``.
+ArrivalProfileFn = Callable[["ArrivalConfig"], ArrivalProcess]
+
+_ARRIVAL_PROFILES: Dict[str, Tuple[ArrivalProfileFn, str]] = {}
+
+
+class UnknownArrivalProfileError(KeyError):
+    """Raised when a profile name does not resolve to a generator."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(
+            f"unknown arrival profile {name!r}; available: "
+            f"{', '.join(available_arrival_profiles())}"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its repr by default
+        return self.args[0]
+
+
+def register_arrival_profile(
+    name: str, description: str = ""
+) -> Callable[[ArrivalProfileFn], ArrivalProfileFn]:
+    """Decorator registering an arrival-profile factory under ``name``."""
+    key = str(name).lower()
+    if not key:
+        raise ValueError("profile name must be a non-empty string")
+
+    def decorator(fn: ArrivalProfileFn) -> ArrivalProfileFn:
+        if key in _ARRIVAL_PROFILES:
+            raise ValueError(f"arrival profile {key!r} is already registered")
+        _ARRIVAL_PROFILES[key] = (fn, description)
+        return fn
+
+    return decorator
+
+
+def available_arrival_profiles() -> Tuple[str, ...]:
+    """Names of every registered arrival profile, in registration order."""
+    return tuple(_ARRIVAL_PROFILES)
+
+
+def arrival_profile_table() -> List[Dict[str, str]]:
+    """``{profile, description}`` rows for CLI listings."""
+    return [
+        {"profile": name, "description": description}
+        for name, (_, description) in _ARRIVAL_PROFILES.items()
+    ]
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """Declarative, seeded description of an arrival stream.
+
+    Parameters
+    ----------
+    profile:
+        A registered profile name (``poisson``, ``diurnal``, ``bursty``).
+    rate:
+        Base arrival rate in jobs/second (the Poisson rate, the diurnal
+        mean rate, or the bursty quiet-phase rate).
+    seed:
+        Seed of the stream's own RNG; the generated timestamps are a pure
+        function of ``(config)`` including this seed.
+    amplitude / period_hours / phase:
+        Diurnal modulation (day/night sinusoid).
+    burst_factor / mean_quiet_s / mean_burst_s:
+        Bursty regime: the burst-phase rate is ``rate * burst_factor``.
+    """
+
+    profile: str = "poisson"
+    rate: float = 1.0 / 30.0
+    seed: int = 2021
+    amplitude: float = 0.8
+    period_hours: float = 24.0
+    phase: float = 0.0
+    burst_factor: float = 10.0
+    mean_quiet_s: float = 600.0
+    mean_burst_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "profile", str(self.profile).lower())
+        check_positive(self.rate, "rate")
+        check_probability(self.amplitude, "amplitude")
+        check_positive(self.period_hours, "period_hours")
+        check_positive(self.mean_quiet_s, "mean_quiet_s")
+        check_positive(self.mean_burst_s, "mean_burst_s")
+        if self.burst_factor <= 1.0:
+            raise ValueError("burst_factor must exceed 1.0")
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "profile": str(self.profile),
+            "rate": float(self.rate),
+            "seed": int(self.seed),
+            "amplitude": float(self.amplitude),
+            "period_hours": float(self.period_hours),
+            "phase": float(self.phase),
+            "burst_factor": float(self.burst_factor),
+            "mean_quiet_s": float(self.mean_quiet_s),
+            "mean_burst_s": float(self.mean_burst_s),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ArrivalConfig":
+        """Rebuild an :class:`ArrivalConfig` from :meth:`to_dict` output."""
+        return cls(
+            profile=str(payload["profile"]),
+            rate=float(payload["rate"]),
+            seed=int(payload["seed"]),
+            amplitude=float(payload.get("amplitude", 0.8)),
+            period_hours=float(payload.get("period_hours", 24.0)),
+            phase=float(payload.get("phase", 0.0)),
+            burst_factor=float(payload.get("burst_factor", 10.0)),
+            mean_quiet_s=float(payload.get("mean_quiet_s", 600.0)),
+            mean_burst_s=float(payload.get("mean_burst_s", 120.0)),
+        )
+
+    def config_key(self) -> str:
+        """Content hash of the config (cache / provenance key)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    # -- generation ---------------------------------------------------------------------
+
+    def build_process(self) -> ArrivalProcess:
+        """Instantiate the registered :class:`ArrivalProcess` of this config."""
+        entry = _ARRIVAL_PROFILES.get(self.profile)
+        if entry is None:
+            raise UnknownArrivalProfileError(self.profile)
+        return entry[0](self)
+
+    def generate(self, num_jobs: int) -> np.ndarray:
+        """``num_jobs`` sorted arrival timestamps, deterministic in the config."""
+        rng = np.random.Generator(np.random.PCG64(int(self.seed)))
+        return self.build_process().generate(num_jobs, rng)
+
+
+@register_arrival_profile("poisson", "homogeneous Poisson stream (rate jobs/s)")
+def _poisson_arrival_profile(config: ArrivalConfig) -> ArrivalProcess:
+    return PoissonArrivals(rate=config.rate)
+
+
+@register_arrival_profile("diurnal", "sinusoidal day/night modulated Poisson stream")
+def _diurnal_arrival_profile(config: ArrivalConfig) -> ArrivalProcess:
+    return DiurnalArrivals(
+        base_rate=config.rate,
+        amplitude=config.amplitude,
+        period=config.period_hours * HOUR,
+        phase=config.phase,
+    )
+
+
+@register_arrival_profile("bursty", "Markov-modulated quiet/burst regime stream")
+def _bursty_arrival_profile(config: ArrivalConfig) -> ArrivalProcess:
+    return BurstyArrivals(
+        quiet_rate=config.rate,
+        burst_rate=config.rate * config.burst_factor,
+        mean_quiet_duration=config.mean_quiet_s,
+        mean_burst_duration=config.mean_burst_s,
+    )
 
 
 def interarrival_statistics(times: Sequence[float]) -> dict:

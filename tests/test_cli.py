@@ -196,6 +196,26 @@ class TestQueueBackendCLI:
         with pytest.raises(SystemExit, match="queue.json"):
             main(["queue-status", str(tmp_path)])
 
+    def test_queue_status_json_is_machine_readable(self, tmp_path, capsys):
+        queue_dir = tmp_path / "qdir"
+        code = main([
+            "sweep", "--capacities", "8", "--schedulers", "fifo",
+            "--jobs", "3", "--arrival-interval", "10", "--seeds", "4",
+            "--backend", "queue", "--queue-dir", str(queue_dir), "--workers", "1",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["queue-status", str(queue_dir), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["states"]["completed"] == 1
+        assert payload["lease_ttl"] > 0
+        (cell,) = payload["cells"]
+        assert cell["state"] == "completed"
+        assert cell["label"] == "FIFO@8g/seed4"
+        # Lease timing only appears on PROCESSING cells.
+        assert "lease_age_s" not in cell
+
     def test_dead_cells_exit_nonzero_with_summary_table(self, tmp_path, capsys,
                                                         monkeypatch):
         # Poison one cell after the grid expands: the sweep must finish,
@@ -272,3 +292,90 @@ class TestFiguresCommand:
         code = main(["figures", "--which", "fig2"])
         assert code == 0
         assert "Figure 2" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    def test_parse_tenant_flag_variants(self):
+        from repro.cli import _parse_tenant_flag
+
+        quota = _parse_tenant_flag("alice")
+        assert quota.tenant == "alice"
+        quota = _parse_tenant_flag("alice:16")
+        assert (quota.tenant, quota.max_gpus) == ("alice", 16)
+        quota = _parse_tenant_flag("alice:16:4")
+        assert (quota.max_gpus, quota.max_active) == (16, 4)
+        with pytest.raises(SystemExit):
+            _parse_tenant_flag(":8")
+        with pytest.raises(SystemExit):
+            _parse_tenant_flag("a:1:2:3")
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--gpus", "32",
+                                          "--tenant", "a:8", "--port", "0"])
+        assert args.command == "serve"
+        assert args.mode == "virtual"
+        assert args.tenant == ["a:8"]
+
+    def test_submit_parser_batch_flags(self):
+        args = build_parser().parse_args([
+            "submit", "--tenant", "a", "--count", "5",
+            "--arrival-profile", "diurnal", "--json",
+        ])
+        assert args.count == 5
+        assert args.arrival_profile == "diurnal"
+        assert args.json
+
+    def test_service_status_parser(self):
+        args = build_parser().parse_args(["service-status", "--metrics", "--drain"])
+        assert args.metrics and args.drain
+
+    def test_serve_and_submit_round_trip(self, tmp_path):
+        """Full loop: spawn `serve`, drive it with `submit`/`service-status`."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parents[1]
+        env["PYTHONPATH"] = str(root / "src")
+        log_path = tmp_path / "serve.log"
+        with open(log_path, "w") as log:
+            server = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "serve", "--scheduler", "ones",
+                 "--gpus", "8", "--port", "0", "--tenant", "cli-t"],
+                stdout=log, stderr=subprocess.STDOUT, env=env,
+            )
+        try:
+            port = None
+            for _ in range(100):
+                text = log_path.read_text()
+                if "listening on" in text:
+                    port = int(text.split(" on ")[1].split()[0].rsplit(":", 1)[1])
+                    break
+                time.sleep(0.2)
+            assert port, f"server never announced readiness: {log_path.read_text()}"
+            submit = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "submit", "--port", str(port),
+                 "--tenant", "cli-t", "--replicas", "2", "--json"],
+                capture_output=True, text=True, env=env, timeout=60,
+            )
+            assert submit.returncode == 0, submit.stderr
+            decision = json.loads(submit.stdout.strip().splitlines()[-1])
+            assert decision["status"] == "placed"
+            status = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "service-status",
+                 "--port", str(port), "--json"],
+                capture_output=True, text=True, env=env, timeout=60,
+            )
+            assert status.returncode == 0, status.stderr
+            payload = json.loads(status.stdout)
+            assert payload["status"]["submissions"] == 1
+            server.send_signal(signal.SIGTERM)
+            assert server.wait(timeout=15) == 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=10)

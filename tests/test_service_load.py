@@ -1,0 +1,71 @@
+"""Deterministic multi-tenant load generation for the service."""
+
+import pytest
+
+from repro.service.load import arrival_summary, generate_submissions, tenant_seed
+from repro.workload.arrivals import ArrivalConfig
+
+
+class TestTenantSeed:
+    def test_stable_and_distinct(self):
+        assert tenant_seed(2021, "a") == tenant_seed(2021, "a")
+        assert tenant_seed(2021, "a") != tenant_seed(2021, "b")
+        assert tenant_seed(2021, "a") != tenant_seed(2022, "a")
+        assert tenant_seed(2021, "a") > 0
+
+
+class TestGenerateSubmissions:
+    def test_deterministic(self):
+        kwargs = dict(arrivals=ArrivalConfig(rate=1 / 30.0, seed=5))
+        first = generate_submissions(["a", "b"], 10, **kwargs)
+        second = generate_submissions(["a", "b"], 10, **kwargs)
+        assert first == second
+
+    def test_merged_in_arrival_order(self):
+        submissions = generate_submissions(
+            ["a", "b"], 20, arrivals=ArrivalConfig(rate=1 / 30.0, seed=5)
+        )
+        times = [s.arrival_time for s in submissions]
+        assert times == sorted(times)
+        assert len(submissions) == 40
+
+    def test_adding_a_tenant_does_not_perturb_existing_streams(self):
+        arrivals = ArrivalConfig(rate=1 / 30.0, seed=5)
+        solo = [
+            s for s in generate_submissions(["a"], 10, arrivals=arrivals)
+        ]
+        joint = [
+            s for s in generate_submissions(["a", "b"], 10, arrivals=arrivals)
+            if s.tenant == "a"
+        ]
+        assert solo == joint
+
+    def test_gpu_demands_come_from_choices(self):
+        submissions = generate_submissions(
+            ["a"], 50, arrivals=ArrivalConfig(seed=1), gpu_choices=(2, 4),
+            gpu_weights=(0.5, 0.5),
+        )
+        assert {s.gpu_demand for s in submissions} <= {2, 4}
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            generate_submissions(["a"], 0, arrivals=ArrivalConfig())
+        with pytest.raises(ValueError):
+            generate_submissions(
+                ["a"], 1, arrivals=ArrivalConfig(), gpu_choices=(1, 2),
+                gpu_weights=(1.0,),
+            )
+
+
+class TestArrivalSummary:
+    def test_counts_per_tenant(self):
+        submissions = generate_submissions(
+            ["a", "b"], 5, arrivals=ArrivalConfig(seed=2)
+        )
+        summary = arrival_summary(submissions)
+        assert summary["submissions"] == 10
+        assert summary["tenants"] == {"a": 5, "b": 5}
+        assert summary["total_gpu_demand"] >= 10
+
+    def test_empty_load(self):
+        assert arrival_summary([]) == {"submissions": 0}

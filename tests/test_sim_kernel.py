@@ -262,3 +262,83 @@ class TestProfiledSimulation:
     def test_profile_off_by_default(self, small_topology, tiny_trace):
         result = ClusterSimulator(small_topology, FIFOScheduler(), tiny_trace).run()
         assert result.profile == {}
+
+
+class TestOnlineStepping:
+    def test_step_processes_one_event_at_a_time(self):
+        handler = _CountingHandler()
+        kernel = _kernel(handlers={EventKind.TIMER: handler})
+        for t in (1.0, 2.0, 3.0):
+            kernel.push(Event(time=t, kind=EventKind.TIMER))
+        event = kernel.step()
+        assert event is not None and event.time == 1.0
+        assert handler.handled == 1
+        assert kernel.now == 1.0
+        assert len(kernel.events) == 2
+
+    def test_step_returns_none_when_drained(self):
+        kernel = _kernel()
+        assert kernel.step() is None
+
+    def test_step_respects_max_time_without_discarding(self):
+        kernel = _kernel(max_time=5.0)
+        kernel.push(Event(time=10.0, kind=EventKind.TIMER))
+        assert kernel.step() is None
+        # Unlike run(), the over-horizon event stays queued.
+        assert len(kernel.events) == 1
+
+    def test_step_respects_max_events(self):
+        kernel = _kernel(max_events=1)
+        kernel.push(Event(time=1.0, kind=EventKind.TIMER))
+        kernel.push(Event(time=2.0, kind=EventKind.TIMER))
+        assert kernel.step() is not None
+        assert kernel.step() is None
+
+    def test_run_until_is_strict(self):
+        handler = _CountingHandler()
+        kernel = _kernel(handlers={EventKind.TIMER: handler})
+        for t in (1.0, 2.0, 3.0):
+            kernel.push(Event(time=t, kind=EventKind.TIMER))
+        processed = kernel.run_until(3.0)
+        # Events at exactly the boundary stay queued: that strictness is
+        # what lets an arrival injected at t sort against same-time
+        # events by the deterministic (time, kind, counter) order.
+        assert processed == 2
+        assert handler.handled == 2
+        assert len(kernel.events) == 1
+
+    def test_inject_rejects_events_in_the_past(self):
+        kernel = _kernel(handlers={EventKind.TIMER: _CountingHandler()})
+        kernel.push(Event(time=10.0, kind=EventKind.TIMER))
+        assert kernel.step() is not None
+        with pytest.raises(RuntimeError, match="inject"):
+            kernel.inject(Event(time=9.0, kind=EventKind.TIMER))
+
+    def test_inject_accepts_present_and_future(self):
+        kernel = _kernel(handlers={EventKind.TIMER: _CountingHandler()})
+        kernel.push(Event(time=10.0, kind=EventKind.TIMER))
+        kernel.step()
+        kernel.inject(Event(time=10.0, kind=EventKind.TIMER))
+        kernel.inject(Event(time=11.0, kind=EventKind.TIMER))
+        assert len(kernel.events) == 2
+
+    def test_interleaved_injection_matches_batch_schedule(self):
+        """Stepping with mid-run injection == pushing everything upfront."""
+        batch_handler = _CountingHandler()
+        batch = _kernel(handlers={EventKind.TIMER: batch_handler})
+        for t in (1.0, 2.0, 3.0, 4.0):
+            batch.push(Event(time=t, kind=EventKind.TIMER))
+        batch.run()
+
+        live_handler = _CountingHandler()
+        live = _kernel(handlers={EventKind.TIMER: live_handler})
+        live.push(Event(time=1.0, kind=EventKind.TIMER))
+        live.push(Event(time=2.0, kind=EventKind.TIMER))
+        live.run_until(2.0)
+        live.inject(Event(time=3.0, kind=EventKind.TIMER))
+        live.inject(Event(time=4.0, kind=EventKind.TIMER))
+        while live.step() is not None:
+            pass
+        assert live_handler.handled == batch_handler.handled
+        assert live.events_processed == batch.events_processed
+        assert live.now == batch.now

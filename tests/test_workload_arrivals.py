@@ -5,9 +5,13 @@ import pytest
 
 from repro.utils.units import HOUR
 from repro.workload.arrivals import (
+    ArrivalConfig,
     BurstyArrivals,
     DiurnalArrivals,
     PoissonArrivals,
+    UnknownArrivalProfileError,
+    arrival_profile_table,
+    available_arrival_profiles,
     interarrival_statistics,
 )
 
@@ -86,3 +90,50 @@ class TestInterarrivalStatistics:
     def test_regular_spacing_has_zero_cv(self):
         stats = interarrival_statistics([0.0, 10.0, 20.0, 30.0])
         assert stats["cv"] == pytest.approx(0.0)
+
+
+class TestArrivalProfileRegistry:
+    def test_builtin_profiles_registered(self):
+        names = available_arrival_profiles()
+        assert {"poisson", "diurnal", "bursty"} <= set(names)
+
+    def test_profile_table_has_descriptions(self):
+        rows = arrival_profile_table()
+        assert all(row["description"] for row in rows)
+        assert {row["profile"] for row in rows} >= {"poisson", "diurnal", "bursty"}
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(UnknownArrivalProfileError):
+            ArrivalConfig(profile="lunar").build_process()
+
+
+class TestArrivalConfig:
+    def test_generate_is_deterministic(self):
+        config = ArrivalConfig(profile="diurnal", rate=1 / 60.0, seed=99)
+        first = config.generate(100)
+        second = config.generate(100)
+        np.testing.assert_array_equal(first, second)
+
+    def test_seed_changes_the_stream(self):
+        a = ArrivalConfig(seed=1).generate(50)
+        b = ArrivalConfig(seed=2).generate(50)
+        assert not np.array_equal(a, b)
+
+    def test_round_trips_through_json(self):
+        config = ArrivalConfig(profile="bursty", rate=1 / 45.0, seed=7,
+                               burst_factor=5.0, mean_quiet_s=300.0)
+        clone = ArrivalConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.config_key() == config.config_key()
+
+    def test_config_key_is_content_addressed(self):
+        base = ArrivalConfig(seed=3)
+        assert base.config_key() == ArrivalConfig(seed=3).config_key()
+        assert base.config_key() != ArrivalConfig(seed=4).config_key()
+        assert base.config_key() != ArrivalConfig(seed=3, rate=1 / 10.0).config_key()
+
+    def test_each_profile_generates_sorted_times(self):
+        for profile in ("poisson", "diurnal", "bursty"):
+            times = ArrivalConfig(profile=profile, rate=1 / 30.0, seed=11).generate(64)
+            assert len(times) == 64
+            assert np.all(np.diff(times) >= 0)
