@@ -148,17 +148,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--arrival-interval", type=float, default=30.0)
     run.add_argument("--trace", type=Path, default=None, help="replay an existing trace JSON")
     run.add_argument("--seed", type=int, default=2021)
+    _add_partition_arguments(run)
     run.add_argument("--csv", type=Path, default=None, help="export per-job metrics to CSV")
     run.add_argument("--json", type=Path, default=None, help="export run summary to JSON")
 
     compare = sub.add_parser("compare", help="compare ONES against the paper baselines")
-    compare.add_argument("--schedulers", nargs="+", choices=sorted(SCHEDULERS),
+    compare.add_argument("--schedulers", "--scheduler", nargs="+",
+                         choices=sorted(SCHEDULERS),
                          default=None, metavar="NAME",
                          help="registry names to compare (default: the paper's four)")
     compare.add_argument("--gpus", type=int, default=64)
     compare.add_argument("--jobs", type=int, default=50)
     compare.add_argument("--arrival-interval", type=float, default=30.0)
     compare.add_argument("--seed", type=int, default=2021)
+    _add_partition_arguments(compare)
     _add_backend_arguments(compare)
     compare.add_argument("--profile", action="store_true",
                          help="record per-phase wall-clock in every cell artifact "
@@ -181,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--arrival-interval", type=float, default=30.0)
     sweep.add_argument("--seeds", type=int, nargs="+", default=[2021],
                        help="one run per (scheduler, capacity, seed, trace) cell")
+    _add_partition_arguments(sweep)
+    sweep.add_argument("--partition-sizes", type=int, nargs="+", default=None,
+                       metavar="GPUS",
+                       help="grid axis over ONES-hier shard sizes: one run of "
+                            "every cell per size (overrides --partition-size)")
     _add_backend_arguments(sweep)
     sweep.add_argument("--profile", action="store_true",
                        help="record per-phase wall-clock (ledger advance, handlers, "
@@ -201,6 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stable worker name for the log (default: random)")
     worker.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
                         help="override the queue's lease TTL for this worker")
+    worker.add_argument("--skew-margin", type=float, default=None, metavar="SECONDS",
+                        help="override the queue's clock-skew safety margin on "
+                             "lease-expiry checks")
     worker.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
                         help="idle poll interval when no cell is claimable")
     worker.add_argument("--exit-when-done", action="store_true",
@@ -299,6 +310,35 @@ def build_parser() -> argparse.ArgumentParser:
                       default="all")
 
     return parser
+
+
+def _add_partition_arguments(parser: argparse.ArgumentParser) -> None:
+    """The hierarchical-scheduler flags shared by ``run``/``compare``/``sweep``.
+
+    They only apply to the ``ONES-hier`` scheduler (a hint is raised when
+    it is not part of the run); see :mod:`repro.core.partitioned`.
+    """
+    group = parser.add_argument_group(
+        "hierarchical scheduling (ONES-hier)",
+        "partition the cluster into fixed-size shards, one independent "
+        "ONES search per shard plus a global reconciler",
+    )
+    group.add_argument("--partition-size", type=int, default=None, metavar="GPUS",
+                       help="shard size in GPUs (default 64, the paper scale; "
+                            "must tile the cluster in whole nodes)")
+    group.add_argument("--partition-workers", type=int, default=None, metavar="N",
+                       help="process-pool size for evolving multiple dirty "
+                            "partitions concurrently (default: sequential)")
+
+
+def _hier_options(args) -> Dict[str, object]:
+    """The ``ONES-hier`` factory options implied by the partition flags."""
+    options: Dict[str, object] = {}
+    if getattr(args, "partition_size", None) is not None:
+        options["partition_size"] = int(args.partition_size)
+    if getattr(args, "partition_workers", None) is not None:
+        options["parallel_workers"] = int(args.partition_workers)
+    return options
 
 
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
@@ -400,15 +440,31 @@ def _experiment_spec(args, capacities: Sequence[int], seeds: Sequence[int]) -> E
     )
     simulation = SimulationConfig(collect_profile=bool(getattr(args, "profile", False)))
     fault = _fault_config(args)
+    schedulers = _dedupe(_canonical_names(args.schedulers))
+    hier = _hier_options(args)
+    sizes = getattr(args, "partition_sizes", None)
+    if (hier or sizes) and "ONES-hier" not in schedulers:
+        raise SystemExit(
+            "--partition-size/--partition-workers/--partition-sizes configure the "
+            "ONES-hier scheduler; add it with --schedulers ones-hier"
+        )
+    option_axis: tuple = ({},)
+    if sizes:
+        hier.pop("partition_size", None)  # the axis owns the shard size
+        option_axis = tuple(
+            {"ONES-hier": {"partition_size": int(size)}} for size in _dedupe(sizes)
+        )
     return ExperimentSpec(
-        schedulers=_dedupe(_canonical_names(args.schedulers)),
+        schedulers=schedulers,
         capacities=_dedupe(capacities),
         seeds=_dedupe(seeds),
         traces=traces,
         simulation=simulation,
+        scheduler_options={"ONES-hier": hier} if hier else {},
         # A faulted grid always carries the zero-fault twin of every
         # cell, so recovery metrics have a baseline to compare against.
         faults=(None, fault) if fault is not None else (None,),
+        option_axis=option_axis,
     )
 
 
@@ -532,7 +588,14 @@ def cmd_trace(args) -> int:
 
 def cmd_run(args) -> int:
     trace_config = TraceConfig(num_jobs=args.jobs, arrival_rate=1.0 / args.arrival_interval)
-    scheduler = SCHEDULERS[args.scheduler](args.seed)
+    canonical = resolve(args.scheduler).name
+    options = _hier_options(args)
+    if options and canonical != "ONES-hier":
+        raise SystemExit(
+            "--partition-size/--partition-workers configure the ONES-hier "
+            "scheduler; pass --scheduler ones-hier"
+        )
+    scheduler = create_scheduler(canonical, args.seed, **options)
     if args.trace:
         trace = load_trace(args.trace)
     else:
@@ -626,6 +689,24 @@ def cmd_sweep(args) -> int:
     }
     print("Average JCT (s) vs cluster capacity (Fig. 17)")
     print(ascii_series(capacities, series, x_label="# GPUs"))
+    if len(spec.option_axis) > 1:
+        # A --partition-sizes grid: break the hierarchical scheduler's
+        # numbers out per shard size (the table above averages over them).
+        rows = []
+        for run in sweep.runs:
+            size = run.spec.scheduler_options.get("partition_size")
+            if run.spec.scheduler != "ONES-hier" or size is None:
+                continue
+            rows.append({
+                "partition_size": int(size),
+                "gpus": run.spec.num_gpus,
+                "seed": run.spec.seed,
+                "avg_jct": round(run.average_jct, 1),
+            })
+        if rows:
+            print()
+            print("ONES-hier average JCT per partition size")
+            print(format_table(sorted(rows, key=lambda r: (r["partition_size"], r["gpus"], r["seed"]))))
     if "ONES" in spec.schedulers:
         relative = sweep.relative_to("ONES", "jct")
         rel_series = {
@@ -636,7 +717,8 @@ def cmd_sweep(args) -> int:
         print("Relative JCT, ONES = 1.0 (Fig. 18)")
         print(ascii_series(capacities, rel_series, x_label="# GPUs"))
     if args.json:
-        if len(spec.seeds) == 1 and len(spec.traces) == 1 and len(spec.faults) == 1:
+        if (len(spec.seeds) == 1 and len(spec.traces) == 1 and len(spec.faults) == 1
+                and len(spec.option_axis) == 1):
             print(f"sweep written to {export_sweep_json(sweep.to_comparisons(), args.json)}")
         else:
             args.json.write_text(sweep.to_json() + "\n")
@@ -673,6 +755,7 @@ def cmd_worker(args) -> int:
         max_cells=args.max_cells,
         hold_s=args.hold_s,
         verbose=not args.quiet,
+        skew_margin=args.skew_margin,
     )
     return 0
 

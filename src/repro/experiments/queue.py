@@ -95,8 +95,17 @@ class Lease:
     deadline: float
     attempt: int
 
-    def expired(self, now: float) -> bool:
-        return now >= self.deadline
+    def expired(self, now: float, margin: float = 0.0) -> bool:
+        """Whether the lease is stale at ``now``, with ``margin`` slack.
+
+        ``margin`` is the queue's clock-skew safety margin: deadlines are
+        wall-clock timestamps compared across hosts (and across NTP
+        steps), so expiry only triggers once the lease is *at least*
+        ``margin`` seconds past its deadline.  A healthy worker whose
+        clock disagrees with the observer's by less than the margin can
+        never have its lease stolen mid-cell.
+        """
+        return now >= self.deadline + margin
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -176,32 +185,53 @@ class WorkQueue:
     Instances are cheap, stateless views over the shared directory: all
     durable state lives in the log, the lease files and the result
     files, so any number of :class:`WorkQueue` objects (in any number of
-    processes) can point at the same directory.  ``lease_ttl`` and
-    ``policy`` default to the values stored in ``queue.json`` when the
-    queue already exists; explicit arguments override them for this
-    instance only.
+    processes) can point at the same directory.  ``lease_ttl``,
+    ``policy`` and ``skew_margin`` default to the values stored in
+    ``queue.json`` when the queue already exists; explicit arguments
+    override them for this instance only.
+
+    Lease deadlines are wall-clock timestamps compared across hosts, so
+    every expiry decision adds ``skew_margin`` seconds of slack (default
+    :data:`DEFAULT_SKEW_MARGIN`): an NTP step or cross-host offset
+    smaller than the margin can neither steal a healthy worker's lease
+    (duplicate execution) nor matter to failover latency.
     """
+
+    #: Default clock-skew safety margin (seconds) added to every expiry
+    #: check.  Covers typical NTP slews/steps between hosts sharing the
+    #: queue directory; raise it via ``skew_margin`` for fleets with
+    #: looser clock discipline (it only delays failover, never safety).
+    DEFAULT_SKEW_MARGIN = 1.0
 
     def __init__(
         self,
         path: PathLike,
         lease_ttl: Optional[float] = None,
         policy: Optional[ExecutionPolicy] = None,
+        skew_margin: Optional[float] = None,
     ) -> None:
         self.path = Path(path)
         for sub in ("cells", "leases", "results", "dead", "expired"):
             (self.path / sub).mkdir(parents=True, exist_ok=True)
         stored = self._load_config()
         if stored is not None:
-            ttl, stored_policy = stored
+            ttl, stored_policy, stored_margin = stored
             self.lease_ttl = float(lease_ttl if lease_ttl is not None else ttl)
             self.policy = policy if policy is not None else stored_policy
+            self.skew_margin = float(
+                skew_margin if skew_margin is not None else stored_margin
+            )
         else:
             self.lease_ttl = float(lease_ttl if lease_ttl is not None else 30.0)
             self.policy = policy if policy is not None else ExecutionPolicy()
+            self.skew_margin = float(
+                skew_margin if skew_margin is not None else self.DEFAULT_SKEW_MARGIN
+            )
             self._write_config()
         if self.lease_ttl <= 0:
             raise ValueError("lease_ttl must be positive")
+        if self.skew_margin < 0:
+            raise ValueError("skew_margin must be >= 0")
         self._log_offset = 0
         self._cells: Dict[str, _CellRecord] = {}
         self._order: List[str] = []  # enqueue order (== spec order)
@@ -227,18 +257,28 @@ class WorkQueue:
 
     # -- queue config -------------------------------------------------------------------
 
-    def _load_config(self) -> Optional[Tuple[float, ExecutionPolicy]]:
+    def _load_config(self) -> Optional[Tuple[float, ExecutionPolicy, float]]:
         config_path = self.path / "queue.json"
         if not config_path.exists():
             return None
         payload = json.loads(config_path.read_text())
-        return float(payload["lease_ttl"]), ExecutionPolicy.from_dict(payload["policy"])
+        return (
+            float(payload["lease_ttl"]),
+            ExecutionPolicy.from_dict(payload["policy"]),
+            # Queues created before the margin existed behave as written
+            # (no slack), not as the new default would dictate.
+            float(payload.get("skew_margin", 0.0)),
+        )
 
     def _write_config(self) -> None:
         _atomic_write(
             self.path / "queue.json",
             json.dumps(
-                {"lease_ttl": self.lease_ttl, "policy": self.policy.to_dict()},
+                {
+                    "lease_ttl": self.lease_ttl,
+                    "policy": self.policy.to_dict(),
+                    "skew_margin": self.skew_margin,
+                },
                 indent=2,
                 sort_keys=True,
             )
@@ -374,7 +414,11 @@ class WorkQueue:
         retired = 0
         for path in sorted((self.path / "leases").glob("*.json")):
             lease = self._read_lease(path.stem)
-            if lease is not None and lease.expired(now) and self._retire_lease(lease, now):
+            if (
+                lease is not None
+                and lease.expired(now, self.skew_margin)
+                and self._retire_lease(lease, now)
+            ):
                 retired += 1
         return retired
 
@@ -397,7 +441,7 @@ class WorkQueue:
             lease_path = self._lease_path(key)
             existing = self._read_lease(key)
             if existing is not None:
-                if not existing.expired(now):
+                if not existing.expired(now, self.skew_margin):
                     continue
                 self._retire_lease(existing, now)
                 if self._cells[key].dead:
@@ -539,7 +583,7 @@ class WorkQueue:
         if cell.completed:
             return CellState.COMPLETED
         lease = self._read_lease(key)
-        if lease is not None and not lease.expired(now):
+        if lease is not None and not lease.expired(now, self.skew_margin):
             return CellState.PROCESSING
         if cell.attempts > 0:
             return CellState.FAILED
@@ -627,6 +671,7 @@ class WorkQueue:
         return {
             "queue_dir": str(self.path),
             "lease_ttl": float(self.lease_ttl),
+            "skew_margin": float(self.skew_margin),
             "max_retries": int(self.policy.max_retries),
             "states": self.status(now).as_dict(),
             "cells": cells,

@@ -41,6 +41,7 @@ from repro.baselines.srtf import SRTFScheduler
 from repro.baselines.tiresias import TiresiasScheduler
 from repro.core.evolution import EvolutionConfig
 from repro.core.ones_scheduler import ONESConfig, ONESScheduler
+from repro.core.partitioned import HierarchicalConfig, HierarchicalONESScheduler
 from repro.prediction.predictor import PredictorConfig
 
 #: Factory signature: ``(seed, **options) -> SchedulerBase``.
@@ -237,6 +238,57 @@ def _make_ones(
             predictor=PredictorConfig(**predictor_overrides),
         )
     return ONESScheduler(config, seed=seed)
+
+
+@register_scheduler(
+    "ONES-hier",
+    capabilities=HierarchicalONESScheduler.capabilities,
+    description="hierarchical partitioned ONES: one search per shard + global reconciler",
+    aliases=("ones-hierarchical",),
+)
+def _make_ones_hier(
+    seed: int,
+    *,
+    config: Optional[HierarchicalConfig] = None,
+    partition_size: Optional[int] = None,
+    partitions: Optional[int] = None,
+    parallel_workers: Optional[int] = None,
+    evolution: Optional[EvolutionConfig] = None,
+    population_size: Optional[int] = None,
+    mutation_rate: Optional[float] = None,
+    crossover_pairs: Optional[int] = None,
+    iterations_per_invocation: Optional[int] = None,
+    refit_policy: Optional[str] = None,
+    refit_interval: Optional[int] = None,
+) -> HierarchicalONESScheduler:
+    """Hierarchical ONES factory.
+
+    Mirrors the flat ONES scalar knobs (they configure every per-partition
+    search) plus the hierarchy's own: ``partition_size`` in GPUs (default
+    64, the paper scale), ``partitions`` as an explicit shard-count
+    override (``partitions=1`` is the flat-parity mode), and
+    ``parallel_workers`` for the process-pool evolve burst.
+    """
+    if config is None:
+        inner = _make_ones(
+            seed,
+            evolution=evolution,
+            population_size=population_size,
+            mutation_rate=mutation_rate,
+            crossover_pairs=crossover_pairs,
+            iterations_per_invocation=iterations_per_invocation,
+            refit_policy=refit_policy,
+            refit_interval=refit_interval,
+        ).config
+        overrides: Dict[str, object] = {"ones": inner}
+        if partition_size is not None:
+            overrides["partition_size"] = int(partition_size)
+        if partitions is not None:
+            overrides["partitions"] = int(partitions)
+        if parallel_workers is not None:
+            overrides["parallel_workers"] = int(parallel_workers)
+        config = HierarchicalConfig(**overrides)
+    return HierarchicalONESScheduler(config, seed=seed)
 
 
 @register_scheduler(

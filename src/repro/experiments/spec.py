@@ -146,6 +146,15 @@ class ExperimentSpec:
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
     scheduler_options: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
     faults: Tuple[Optional[FaultConfig], ...] = (None,)
+    #: Grid axis over per-scheduler option overlays.  Each entry is a
+    #: ``{scheduler name: {option: value}}`` mapping merged on top of the
+    #: shared ``scheduler_options`` for every cell of that axis value —
+    #: e.g. ``({"ONES-hier": {"partition_size": 64}},
+    #: {"ONES-hier": {"partition_size": 128}})`` sweeps the hierarchy's
+    #: shard size.  The default single empty overlay reproduces the
+    #: historical grid exactly (and is omitted from serialization, so
+    #: existing sweep keys are unchanged).
+    option_axis: Tuple[Mapping[str, Mapping[str, object]], ...] = ({},)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "schedulers", tuple(str(s) for s in self.schedulers))
@@ -180,6 +189,16 @@ class ExperimentSpec:
             "scheduler_options",
             {str(name): dict(options) for name, options in self.scheduler_options.items()},
         )
+        option_axis = tuple(
+            {str(name): dict(options) for name, options in entry.items()}
+            for entry in self.option_axis
+        )
+        if not option_axis:
+            raise ValueError("option_axis must not be empty")
+        overlay_keys = [_canonical_json(entry) for entry in option_axis]
+        if len(set(overlay_keys)) != len(overlay_keys):
+            raise ValueError("option_axis contains duplicates")
+        object.__setattr__(self, "option_axis", option_axis)
         for label, values in (
             ("schedulers", self.schedulers),
             ("capacities", self.capacities),
@@ -192,6 +211,8 @@ class ExperimentSpec:
             if len(set(values)) != len(values):
                 raise ValueError(f"{label} contains duplicates")
         unknown = set(self.scheduler_options) - set(self.schedulers)
+        for entry in option_axis:
+            unknown |= set(entry) - set(self.schedulers)
         if unknown:
             raise ValueError(
                 f"scheduler_options for schedulers not in the grid: {sorted(unknown)}"
@@ -205,25 +226,36 @@ class ExperimentSpec:
             return self.simulation
         return _dc_replace(self.simulation, faults=fault)
 
+    def _cell_options(
+        self, scheduler: str, overlay: Mapping[str, Mapping[str, object]]
+    ) -> Dict[str, object]:
+        """Shared options for ``scheduler`` with one option-axis overlay applied."""
+        options = dict(self.scheduler_options.get(scheduler, {}))
+        options.update(overlay.get(scheduler, {}))
+        return options
+
     def expand(self) -> List[RunSpec]:
         """The individual cells of the grid, in deterministic order."""
         cells: List[RunSpec] = []
         for fault in self.faults:
             simulation = self._cell_simulation(fault)
-            for trace in self.traces:
-                for capacity in self.capacities:
-                    for seed in self.seeds:
-                        for scheduler in self.schedulers:
-                            cells.append(
-                                RunSpec(
-                                    scheduler=scheduler,
-                                    num_gpus=capacity,
-                                    seed=seed,
-                                    trace=trace,
-                                    simulation=simulation,
-                                    scheduler_options=self.scheduler_options.get(scheduler, {}),
+            for overlay in self.option_axis:
+                for trace in self.traces:
+                    for capacity in self.capacities:
+                        for seed in self.seeds:
+                            for scheduler in self.schedulers:
+                                cells.append(
+                                    RunSpec(
+                                        scheduler=scheduler,
+                                        num_gpus=capacity,
+                                        seed=seed,
+                                        trace=trace,
+                                        simulation=simulation,
+                                        scheduler_options=self._cell_options(
+                                            scheduler, overlay
+                                        ),
+                                    )
                                 )
-                            )
         return cells
 
     @property
@@ -235,6 +267,7 @@ class ExperimentSpec:
             * len(self.seeds)
             * len(self.traces)
             * len(self.faults)
+            * len(self.option_axis)
         )
 
     # -- serialization ------------------------------------------------------------------
@@ -261,6 +294,11 @@ class ExperimentSpec:
             payload["faults"] = [
                 fault.to_dict() if fault is not None else None for fault in self.faults
             ]
+        if self.option_axis != ({},):
+            payload["option_axis"] = [
+                {name: dict(options) for name, options in entry.items()}
+                for entry in self.option_axis
+            ]
         return payload
 
     @classmethod
@@ -280,6 +318,7 @@ class ExperimentSpec:
             )
             if faults is not None
             else (None,),
+            option_axis=tuple(payload.get("option_axis", [{}])),
         )
 
     def sweep_key(self) -> str:

@@ -47,12 +47,28 @@ class _Heartbeat(threading.Thread):
         self.lost = False
 
     def run(self) -> None:  # pragma: no cover - timing-dependent thread body
-        while not self._halt.wait(self._interval):
+        # Pace renewals off the monotonic clock: an NTP step or slew of
+        # the wall clock can neither stall the cadence (risking a lease
+        # expiry under a healthy worker) nor burst it.  Only the deadline
+        # *written into the lease* is wall-clock — that is the value
+        # other hosts compare against, with the queue's skew margin.
+        next_beat = time.monotonic() + self._interval
+        while True:
+            delay = next_beat - time.monotonic()
+            if self._halt.wait(max(delay, 0.0)):
+                return
+            # If a renewal overslept (GC pause, slow filesystem), beat
+            # again immediately instead of compounding the drift.
+            next_beat = max(next_beat + self._interval, time.monotonic())
             try:
                 self._queue.heartbeat(self._cell, self._worker)
             except LeaseLostError:
                 self.lost = True
                 return
+            except OSError:
+                # Transient filesystem hiccup: keep the cadence and let
+                # the next beat retry — the TTL gives us headroom.
+                continue
 
     def stop(self) -> None:
         self._halt.set()
@@ -68,6 +84,7 @@ def run_worker(
     max_cells: Optional[int] = None,
     hold_s: float = 0.0,
     verbose: bool = True,
+    skew_margin: Optional[float] = None,
 ) -> int:
     """The worker loop; returns the number of cells this worker settled.
 
@@ -76,7 +93,7 @@ def run_worker(
     holding, which this worker waits out rather than abandons.  Without
     it the worker polls forever, picking up cells as they are enqueued.
     """
-    queue = WorkQueue(queue_dir, lease_ttl=lease_ttl)
+    queue = WorkQueue(queue_dir, lease_ttl=lease_ttl, skew_margin=skew_margin)
     worker = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
     heartbeat_interval = max(queue.lease_ttl / 3.0, 0.05)
     settled = 0
@@ -134,6 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stable worker name for the log (default: random)")
     parser.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
                         help="override the queue's lease TTL for this worker")
+    parser.add_argument("--skew-margin", type=float, default=None, metavar="SECONDS",
+                        help="override the queue's clock-skew safety margin on "
+                             "lease-expiry checks")
     parser.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
                         help="idle poll interval when no cell is claimable")
     parser.add_argument("--exit-when-done", action="store_true",
@@ -159,6 +179,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_cells=args.max_cells,
         hold_s=args.hold_s,
         verbose=not args.quiet,
+        skew_margin=args.skew_margin,
     )
     return 0
 

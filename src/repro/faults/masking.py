@@ -28,13 +28,14 @@ either side of the mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.baselines.base import ClusterState
 from repro.cluster.allocation import Allocation, WorkerAssignment
 from repro.cluster.topology import ClusterTopology
+from repro.jobs.job import Job
 from repro.jobs.throughput import ThroughputModel
 
 
@@ -87,6 +88,68 @@ def _up_nodes(state: ClusterState) -> Tuple[int, ...]:
     return up
 
 
+def compact_nodes(
+    state: ClusterState,
+    nodes: Sequence[int],
+    topology: ClusterTopology,
+    throughput_model: ThroughputModel,
+    *,
+    jobs: Optional[Dict[str, Job]] = None,
+    strict: bool = True,
+) -> CompactView:
+    """Compact an explicit node subset of ``state`` onto a dense cluster.
+
+    The generalisation underneath both fault masking and hierarchical
+    partitioning: ``nodes`` names the real nodes the virtual cluster is
+    built from (in that order), ``topology`` / ``throughput_model`` are
+    the matching dense instances (``len(nodes)`` nodes), and ``jobs``
+    optionally restricts the view to a job subset — the per-partition
+    case, where a partition's scheduler must only see its own jobs.
+
+    ``strict=True`` raises if a visible job holds a GPU outside the node
+    subset (the fault-masking contract: surviving jobs sit entirely on
+    surviving nodes).  ``strict=False`` silently drops such workers from
+    the compacted allocation instead — the *drain* semantics partitions
+    need when a node is being reclaimed for a wide job: the partition
+    evolves a schedule without the leaving node, and deploying it
+    releases the stragglers.
+    """
+    gpus_per_node = state.topology.gpus_per_node
+    to_real = np.concatenate(
+        [np.asarray(state.topology.gpus_of_node(node), dtype=np.int64) for node in nodes]
+    )
+    if to_real.shape[0] != topology.num_gpus or topology.gpus_per_node != gpus_per_node:
+        raise ValueError("virtual topology does not match the selected nodes")
+    from_real = {int(real): virtual for virtual, real in enumerate(to_real)}
+    view = CompactView(
+        state=None,  # type: ignore[arg-type]  # filled right below
+        to_real=to_real,
+        from_real=from_real,
+    )
+    visible_jobs = state.jobs if jobs is None else jobs
+    mapping: Dict[int, WorkerAssignment] = {}
+    for gpu, (job_id, batch) in state.allocation.as_dict().items():
+        if jobs is not None and job_id not in visible_jobs:
+            continue
+        virtual = from_real.get(int(gpu))
+        if virtual is None:
+            if strict:
+                raise ValueError(
+                    f"allocation places job {job_id!r} on GPU {gpu}, outside the "
+                    f"compacted node subset"
+                )
+            continue
+        mapping[virtual] = WorkerAssignment(job_id, batch)
+    view.state = ClusterState(
+        now=state.now,
+        topology=topology,
+        throughput_model=throughput_model,
+        allocation=Allocation(mapping),
+        jobs=visible_jobs,
+    )
+    return view
+
+
 def compact_state(
     state: ClusterState,
     topology: ClusterTopology,
@@ -99,27 +162,7 @@ def compact_state(
     job dictionary is shared by reference, so the scheduler observes the
     same live :class:`~repro.jobs.job.Job` objects either way.
     """
-    up = _up_nodes(state)
-    gpus_per_node = state.topology.gpus_per_node
-    to_real = np.concatenate(
-        [np.asarray(state.topology.gpus_of_node(node), dtype=np.int64) for node in up]
-    )
-    if to_real.shape[0] != topology.num_gpus or topology.gpus_per_node != gpus_per_node:
-        raise ValueError("virtual topology does not match the surviving nodes")
-    from_real = {int(real): virtual for virtual, real in enumerate(to_real)}
-    view = CompactView(
-        state=None,  # type: ignore[arg-type]  # filled right below
-        to_real=to_real,
-        from_real=from_real,
-    )
-    view.state = ClusterState(
-        now=state.now,
-        topology=topology,
-        throughput_model=throughput_model,
-        allocation=view.compress(state.allocation),
-        jobs=state.jobs,
-    )
-    return view
+    return compact_nodes(state, _up_nodes(state), topology, throughput_model)
 
 
 def virtual_cluster(

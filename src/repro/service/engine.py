@@ -62,10 +62,21 @@ class LatencyHistogram:
     Fixed geometric buckets (factor 2 from 1 µs) keep memory constant
     under sustained load while bounding percentile error to one bucket
     width — the standard trade for service-side latency SLOs.
+
+    Bucket convention (half-open on the left, *closed* on the right):
+    bucket 0 holds ``[0, 1 µs]``, bucket ``i >= 1`` holds
+    ``(floor * 2^(i-1), floor * 2^i]``.  A value landing exactly on a
+    power-of-two edge (e.g. ``2e-6``) belongs to the bucket it is the
+    upper bound of — :meth:`_bucket_index` snaps near-edge values onto
+    the edge before deciding, so float noise in ``log2`` can never flip
+    an edge observation into the next bucket (which used to move
+    p50/p99 by a full bucket width under steady edge-valued loads).
     """
 
     _FLOOR = 1e-6
     _BUCKETS = 40
+    #: Relative ``log2`` slack treated as "exactly on a bucket edge".
+    _EDGE_EPSILON = 1e-9
 
     def __init__(self) -> None:
         self.counts = [0] * (self._BUCKETS + 1)
@@ -73,20 +84,42 @@ class LatencyHistogram:
         self.total = 0.0
         self.max_value = 0.0
 
+    @classmethod
+    def _bucket_index(cls, value: float) -> int:
+        """The bucket of one observation, with explicit edge handling."""
+        if value <= cls._FLOOR:
+            return 0
+        raw = math.log2(value / cls._FLOOR)
+        nearest = round(raw)
+        if abs(raw - nearest) <= cls._EDGE_EPSILON:
+            # On (or within float noise of) an edge: the value is the
+            # upper bound of bucket ``nearest``.
+            index = max(int(nearest), 1)
+        else:
+            index = math.ceil(raw)
+        # Values beyond floor * 2^40 (~13 days) collapse into the last
+        # bucket; see percentile() for the bound this puts on results.
+        return min(index, cls._BUCKETS)
+
     def record(self, seconds: float) -> None:
         """Add one observation (seconds)."""
         value = max(float(seconds), 0.0)
         self.count += 1
         self.total += value
         self.max_value = max(self.max_value, value)
-        if value <= self._FLOOR:
-            index = 0
-        else:
-            index = min(int(math.log2(value / self._FLOOR)) + 1, self._BUCKETS)
-        self.counts[index] += 1
+        self.counts[self._bucket_index(value)] += 1
 
     def percentile(self, p: float) -> float:
-        """The latency (seconds) at percentile ``p`` (0-100, bucket upper bound)."""
+        """The latency (seconds) at percentile ``p`` (0-100).
+
+        Returns the upper bound of the bucket containing the rank-``p``
+        observation, so the result overestimates the true percentile by
+        at most one bucket width (a factor of 2).  The overflow bucket
+        has no finite upper edge: results are capped at ``max_value``,
+        so a percentile that lands there is bounded by
+        ``(floor * 2^40, max observed value]`` — exact only when every
+        overflow observation equals the maximum.
+        """
         if self.count == 0:
             return 0.0
         rank = max(1, math.ceil(self.count * (p / 100.0)))
@@ -193,6 +226,12 @@ class SchedulerService:
             quota.tenant: TenantState(quota=quota) for quota in config.tenants
         }
         self._open_admission = not config.tenants
+        # Weighted-share admission only activates when some registered
+        # tenant carries a non-default weight; with all weights at 1.0
+        # the policy is inert and admission behaves exactly as before.
+        self._weighted_admission = any(
+            float(quota.weight) != 1.0 for quota in config.tenants
+        )
         self._submission_counter = 0
         self._tenant_of_job: Dict[str, str] = {}
         self._completed_seen: set = set()
@@ -414,7 +453,41 @@ class SchedulerService:
                 f"{state.outstanding_gpus} + requested {submission.gpu_demand} GPUs "
                 f"exceeds max_gpus={quota.max_gpus}"
             )
+        if self._weighted_admission:
+            self._check_weighted_share(state)
         return state
+
+    def _check_weighted_share(self, state: TenantState) -> None:
+        """Proportional concurrency under contention, driven by quota weights.
+
+        Only consulted when some registered tenant carries a non-default
+        ``weight`` (the flag is computed once at startup); with every
+        weight at 1.0, admission is bit-for-bit what it was before this
+        policy existed.  The check binds only while the cluster is
+        contended — some admitted job is waiting for GPUs.  A tenant may
+        then hold at most ``ceil((A + 1) * w_i / W)`` concurrent
+        incomplete jobs, where ``A`` is the number of active jobs across
+        all tenants and ``W`` the sum of all tenants' weights.  The
+        ``max(1, ...)`` floor guarantees a tiny weight never means
+        outright starvation: every tenant can always run one job.
+        """
+        if self.queue_depth() == 0:
+            return
+        total_weight = sum(float(t.quota.weight) for t in self.tenants.values())
+        if total_weight <= 0.0:  # pragma: no cover - weights validate positive
+            return
+        total_active = sum(len(t.active_jobs) for t in self.tenants.values())
+        share = max(
+            1,
+            math.ceil((total_active + 1) * float(state.quota.weight) / total_weight),
+        )
+        if len(state.active_jobs) + 1 > share:
+            raise AdmissionError(
+                f"tenant {state.quota.tenant!r} exceeds its weighted share under "
+                f"contention: holds {len(state.active_jobs)} active jobs but its "
+                f"share of {total_active + 1} is {share} "
+                f"(weight {state.quota.weight:g} of {total_weight:g})"
+            )
 
     def _build_spec(self, submission: JobSubmission, arrival_time: float) -> JobSpec:
         if submission.spec is not None:

@@ -251,8 +251,12 @@ class TenantQuota:
 
     ``max_gpus`` caps the tenant's *outstanding requested* GPU demand
     (demand of admitted-but-incomplete jobs); ``max_active`` caps its
-    concurrent incomplete jobs.  ``weight`` is a fairness hint surfaced
-    in telemetry (reserved for weighted policies).
+    concurrent incomplete jobs.  ``weight`` drives weighted-share
+    admission: when any registered tenant has a non-default weight and
+    the cluster is contended, each tenant's concurrent jobs are capped
+    at its proportional share ``ceil((active + 1) * w_i / sum(w))``
+    (floored at one job).  With every weight at the default 1.0 the
+    policy is inert and admission behaves as if weights did not exist.
     """
 
     tenant: str

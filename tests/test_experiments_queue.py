@@ -213,6 +213,82 @@ class TestWorkQueue:
         assert second.enqueue(_spec(seed=1)) == (keys[0], False)
 
 
+class TestClockSafety:
+    """Stepped-clock regressions: NTP steps/skew must not break leases.
+
+    Lease deadlines are wall-clock timestamps compared across hosts, so
+    expiry gets ``skew_margin`` seconds of slack (default 1.0).  These
+    tests drive the protocol with explicit ``now=`` clocks that disagree
+    the way stepped/offset host clocks do.
+    """
+
+    def test_small_forward_step_cannot_steal_a_healthy_lease(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl=5.0)
+        queue.enqueue_all(_specs(1))
+        key, _ = queue.claim("alice", now=100.0)  # deadline 105.0
+        # An observer whose clock stepped 0.9s ahead of the worker's sees
+        # now=105.9 — past the raw deadline, inside the margin.
+        assert queue.expire_leases(now=105.9) == 0
+        assert queue.state(key, now=105.9) is CellState.PROCESSING
+        assert queue.claim("mallory", now=105.9) is None
+
+    def test_step_past_the_margin_still_fails_over(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl=5.0,
+                          policy=ExecutionPolicy(max_retries=2))
+        (key,) = queue.enqueue_all(_specs(1))
+        queue.claim("alice", now=100.0)
+        # Dead-worker detection is delayed by exactly the margin, never lost.
+        assert queue.expire_leases(now=106.0) == 1
+        assert queue.state(key, now=106.0) is CellState.FAILED
+        assert queue.attempts(key) == 1
+
+    def test_zero_margin_reproduces_the_raw_deadline(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl=5.0, skew_margin=0.0)
+        queue.enqueue_all(_specs(1))
+        queue.claim("alice", now=100.0)
+        assert queue.expire_leases(now=104.9) == 0
+        assert queue.expire_leases(now=105.0) == 1
+
+    def test_heartbeat_renewal_pushes_the_margin_window(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl=5.0)
+        (key,) = queue.enqueue_all(_specs(1))
+        queue.claim("alice", now=100.0)
+        assert queue.heartbeat(key, "alice", now=103.0) == 108.0
+        assert queue.expire_leases(now=108.9) == 0  # inside renewed margin
+        assert queue.expire_leases(now=109.0) == 1
+
+    def test_margin_is_persisted_and_shared_via_queue_json(self, tmp_path):
+        path = tmp_path / "q"
+        first = WorkQueue(path, lease_ttl=5.0, skew_margin=2.5)
+        config = json.loads((path / "queue.json").read_text())
+        assert config["skew_margin"] == 2.5
+        second = WorkQueue(path)  # another process: same margin
+        assert second.skew_margin == 2.5
+        second.enqueue_all(_specs(1))
+        second.claim("alice", now=100.0)
+        assert second.expire_leases(now=107.0) == 0  # 105 + 2.5 margin
+        assert second.expire_leases(now=107.5) == 1
+
+    def test_legacy_queue_config_without_margin_gets_no_slack(self, tmp_path):
+        path = tmp_path / "q"
+        WorkQueue(path, lease_ttl=5.0)
+        config_path = path / "queue.json"
+        config = json.loads(config_path.read_text())
+        del config["skew_margin"]  # a queue.json written before the margin existed
+        config_path.write_text(json.dumps(config))
+        reopened = WorkQueue(path)
+        assert reopened.skew_margin == 0.0
+
+    def test_negative_margin_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WorkQueue(tmp_path / "q", skew_margin=-0.1)
+
+    def test_snapshot_reports_the_margin(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl=5.0)
+        queue.enqueue_all(_specs(1))
+        assert queue.as_json(now=100.0)["skew_margin"] == 1.0
+
+
 class TestQueueBackend:
     def test_queue_sweep_is_bit_identical_to_serial(self, tmp_path):
         spec = _grid(schedulers=("FIFO", "SRTF"), seeds=(7, 8))

@@ -44,7 +44,8 @@ def scratch_registration():
 class TestBuiltins:
     def test_all_schedulers_registered(self):
         assert set(available_schedulers()) == {
-            "ONES", "DRL", "Tiresias", "Optimus", "Gandiva", "FIFO", "SRTF",
+            "ONES", "ONES-hier", "DRL", "Tiresias", "Optimus", "Gandiva",
+            "FIFO", "SRTF",
         }
 
     def test_paper_schedulers_are_the_fig15_four(self):

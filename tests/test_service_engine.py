@@ -181,3 +181,124 @@ class TestTelemetry:
         service.submit(JobSubmission(tenant="alice"))
         # One running job holding GPUs: depth stays 0.
         assert service.queue_depth() == 0
+
+
+class TestHistogramBucketEdges:
+    """Pin the power-of-two edge convention of LatencyHistogram buckets."""
+
+    def test_floor_and_below_land_in_bucket_zero(self):
+        assert LatencyHistogram._bucket_index(0.0) == 0
+        assert LatencyHistogram._bucket_index(5e-7) == 0
+        assert LatencyHistogram._bucket_index(1e-6) == 0
+
+    def test_exact_power_of_two_edge_is_the_upper_bound_of_its_bucket(self):
+        # 2 µs is the upper edge of bucket 1 = (1 µs, 2 µs]; it must not
+        # spill into bucket 2 (the bug this pins: float noise in log2
+        # used to push exact edges one bucket up).
+        assert LatencyHistogram._bucket_index(2e-6) == 1
+        assert LatencyHistogram._bucket_index(4e-6) == 2
+        assert LatencyHistogram._bucket_index(1e-6 * 2**10) == 10
+        assert LatencyHistogram._bucket_index(1e-6 * 2**20) == 20
+
+    def test_near_edge_float_noise_snaps_onto_the_edge(self):
+        edge = 1e-6 * 2**20
+        assert LatencyHistogram._bucket_index(edge * (1.0 + 1e-12)) == 20
+        assert LatencyHistogram._bucket_index(edge * (1.0 - 1e-12)) == 20
+        # A value clearly past the edge belongs to the next bucket.
+        assert LatencyHistogram._bucket_index(edge * 1.01) == 21
+
+    def test_interior_values_round_up(self):
+        # 3 µs lies inside (2 µs, 4 µs] -> bucket 2.
+        assert LatencyHistogram._bucket_index(3e-6) == 2
+
+    def test_edge_valued_load_keeps_percentile_at_the_edge(self):
+        hist = LatencyHistogram()
+        for _ in range(100):
+            hist.record(2e-6)
+        # All mass sits in bucket 1, whose upper bound is the value
+        # itself: the percentile is exact, not one bucket high.
+        assert hist.percentile(50.0) == pytest.approx(2e-6)
+        assert hist.percentile(99.0) == pytest.approx(2e-6)
+
+    def test_overflow_bucket_percentile_is_bounded(self):
+        hist = LatencyHistogram()
+        huge = 2.0e6  # beyond floor * 2^40 ~ 1.1e6 s
+        hist.record(huge)
+        assert LatencyHistogram._bucket_index(huge) == LatencyHistogram._BUCKETS
+        p99 = hist.percentile(99.0)
+        assert p99 <= hist.max_value
+        assert p99 == pytest.approx(1e-6 * 2.0**40)
+
+    def test_percentile_capped_at_observed_max(self):
+        hist = LatencyHistogram()
+        for _ in range(10):
+            hist.record(0.010)
+        # Bucket upper bound is ~16.4 ms but nothing above 10 ms was
+        # ever observed; the cap keeps the answer honest.
+        assert hist.percentile(99.0) == pytest.approx(0.010)
+
+
+class TestWeightedShareAdmission:
+    def _service(self, alice_weight, bob_weight, num_gpus=4):
+        return make_service(
+            num_gpus=num_gpus,
+            scheduler="FIFO",
+            tenants=(
+                TenantQuota(tenant="alice", weight=alice_weight),
+                TenantQuota(tenant="bob", weight=bob_weight),
+            ),
+        )
+
+    def test_default_weights_leave_admission_untouched(self):
+        service = make_service(
+            num_gpus=4,
+            scheduler="FIFO",
+            tenants=(TenantQuota(tenant="alice"), TenantQuota(tenant="bob")),
+        )
+        assert service._weighted_admission is False
+        # Under contention a default-weight tenant can queue without
+        # limit (the pre-weighted behaviour, preserved bit-for-bit).
+        assert service.submit(JobSubmission(tenant="alice", replicas=4)).status == "placed"
+        for _ in range(3):
+            decision = service.submit(JobSubmission(tenant="alice", replicas=4))
+            assert decision.status == "queued"
+
+    def test_low_weight_tenant_rejected_over_its_share(self):
+        service = self._service(alice_weight=3.0, bob_weight=1.0)
+        assert service._weighted_admission is True
+        assert service.submit(JobSubmission(tenant="alice", replicas=4)).status == "placed"
+        # Cluster full but queue empty: weights do not bind yet.
+        assert service.submit(JobSubmission(tenant="bob", replicas=4)).status == "queued"
+        # Now contended: bob (weight 1 of 4) has share ceil(3/4) -> 1
+        # and already holds one job.
+        rejected = service.submit(JobSubmission(tenant="bob", replicas=4))
+        assert rejected.status == "rejected"
+        assert "weighted share" in rejected.reason
+        # alice (weight 3 of 4) has share ceil(9/4) -> 3 and holds one.
+        assert service.submit(JobSubmission(tenant="alice", replicas=4)).status == "queued"
+
+    def test_tiny_weight_still_gets_one_job(self):
+        service = self._service(alice_weight=10.0, bob_weight=0.01)
+        assert service.submit(JobSubmission(tenant="alice", replicas=4)).status == "placed"
+        assert service.submit(JobSubmission(tenant="alice", replicas=4)).status == "queued"
+        # Contended and bob's proportional share rounds to zero, but the
+        # floor guarantees a first job.
+        assert service.submit(JobSubmission(tenant="bob", replicas=4)).status == "queued"
+        second = service.submit(JobSubmission(tenant="bob", replicas=4))
+        assert second.status == "rejected"
+        assert "weighted share" in second.reason
+
+    def test_uncontended_cluster_ignores_weights(self):
+        service = self._service(alice_weight=10.0, bob_weight=0.01, num_gpus=16)
+        for _ in range(3):
+            decision = service.submit(JobSubmission(tenant="bob", replicas=1))
+            assert decision.status == "placed"
+
+    def test_weighted_rejection_is_counted(self):
+        service = self._service(alice_weight=3.0, bob_weight=1.0)
+        service.submit(JobSubmission(tenant="alice", replicas=4))
+        service.submit(JobSubmission(tenant="bob", replicas=4))
+        service.submit(JobSubmission(tenant="bob", replicas=4))
+        state = service.tenants["bob"]
+        assert state.rejected == 1
+        assert len(state.active_jobs) == 1
