@@ -329,6 +329,81 @@ def _bench_faults() -> Dict:
     }
 
 
+#: Incremental-scoring tiers: ``(num_gpus, num_jobs)`` for the
+#: delta-scoring generation kernel.  The paper scale and the CI quick
+#: tier always run; the 1024-GPU / 1000-job acceptance tier only under
+#: ``REPRO_BENCH_FULL_SCALE=1`` (one baseline generation alone takes
+#: seconds there).
+INCREMENTAL_TIERS = {
+    "64x40": (64, 40),
+    "256x120": (256, 120),
+    "1024x1000": (1024, 1000),
+}
+
+
+def _bench_incremental_scoring() -> Dict[str, Dict]:
+    """Generation throughput with the decomposition cache on vs off.
+
+    Both sides run the batched engine (the PR 3 baseline); the only
+    difference is ``EvolutionConfig.incremental_scoring`` — the
+    per-candidate :class:`~repro.core.scoring_incremental.ScoreDecomposition`
+    maintained through the operators instead of re-derived per
+    generation.  A parity probe pins the two trajectories bit-identical
+    before timing, so the speedup is free.
+    """
+    tiers = ["64x40", "256x120"]
+    if os.environ.get("REPRO_BENCH_FULL_SCALE"):
+        tiers.append("1024x1000")
+    records: Dict[str, Dict] = {}
+    for tier in tiers:
+        num_gpus, num_jobs = INCREMENTAL_TIERS[tier]
+        fresh_ctx = _evolution_workload(num_gpus, num_jobs, SEED)
+
+        def search(incremental: bool) -> EvolutionarySearch:
+            return EvolutionarySearch(
+                EvolutionConfig(
+                    batched_operators=True, incremental_scoring=incremental
+                ),
+                seed=SEED,
+            )
+
+        # Parity guard: identical seeds must yield identical trajectories.
+        probe_off, probe_on = search(False), search(True)
+        ctx_a, ctx_b = fresh_ctx(SEED + 1), fresh_ctx(SEED + 1)
+        for _ in range(2):
+            best_a, score_a = probe_off.step(ctx_a)
+            best_b, score_b = probe_on.step(ctx_b)
+            if score_a != score_b or not np.array_equal(
+                best_a.genome, best_b.genome
+            ):
+                raise AssertionError("incremental scoring diverged from baseline")
+        if not np.array_equal(
+            stack_genomes(probe_off.population.members),
+            stack_genomes(probe_on.population.members),
+        ):
+            raise AssertionError("incremental scoring diverged from baseline")
+
+        baseline_ops = _generations_per_sec(search(False), fresh_ctx(SEED + 2))
+        timed_on = search(True)
+        incremental_ops = _generations_per_sec(timed_on, fresh_ctx(SEED + 2))
+        if timed_on.scoring_engine.stats()["delta_generations"] == 0:
+            raise AssertionError("timed run never hit the decomposition cache")
+        population = EvolutionConfig().resolved_population_size(num_gpus)
+        records[tier] = {
+            "num_gpus": num_gpus,
+            "num_jobs": num_jobs,
+            "population": population,
+            "baseline_generations_per_sec": round(baseline_ops, 2),
+            "incremental_generations_per_sec": round(incremental_ops, 2),
+            "baseline_ns_per_candidate": round(1e9 / (baseline_ops * population), 1),
+            "incremental_ns_per_candidate": round(
+                1e9 / (incremental_ops * population), 1
+            ),
+            "speedup": round(incremental_ops / baseline_ops, 2),
+        }
+    return records
+
+
 #: Hierarchical-scheduler scale tiers: ``(num_gpus, num_jobs,
 #: partition_size, mean arrival interval)``.  The quick tier always runs
 #: (it is the CI ``scale-smoke`` budget gate); the full tier is the
@@ -432,6 +507,7 @@ def run() -> Dict:
     end_to_end = _bench_end_to_end()
     event_loop = _bench_event_loop()
     faults = _bench_faults()
+    incremental = _bench_incremental_scoring()
     scale = _bench_hierarchical_scale()
 
     lines = ["Population scoring: scalar reference vs vectorised engine", ""]
@@ -489,6 +565,24 @@ def run() -> Dict:
         f"goodput {faults['faulted']['goodput']:.0%} "
         f"in {faults['faulted']['seconds']}s",
     ]
+    lines += ["", "Incremental delta-scoring kernel vs per-generation rescoring", ""]
+    lines.append(
+        f"{'tier':<10} {'GPUs':>5} {'jobs':>5} {'K':>5} "
+        f"{'base gen/s':>11} {'incr gen/s':>11} {'incr ns/cand':>13} {'speedup':>8}"
+    )
+    for tier, row in incremental.items():
+        lines.append(
+            f"{tier:<10} {row['num_gpus']:>5} {row['num_jobs']:>5} "
+            f"{row['population']:>5} {row['baseline_generations_per_sec']:>11,.1f} "
+            f"{row['incremental_generations_per_sec']:>11,.1f} "
+            f"{row['incremental_ns_per_candidate']:>13,.0f} "
+            f"{row['speedup']:>7.1f}x"
+        )
+    if "1024x1000" not in incremental:
+        lines.append(
+            "(full 1024-GPU / 1000-job tier skipped; set "
+            "REPRO_BENCH_FULL_SCALE=1 to run it)"
+        )
     lines += ["", "Hierarchical partitioned ONES at scale (ONES-hier)", ""]
     lines.append(
         f"{'tier':<8} {'GPUs':>5} {'jobs':>5} {'parts':>6} "
@@ -513,6 +607,7 @@ def run() -> Dict:
         "end_to_end": end_to_end,
         "event_loop": event_loop,
         "faults": faults,
+        "incremental_scoring": incremental,
         "scale": scale,
     }
     write_perf_record("scoring", record)
@@ -554,6 +649,16 @@ class TestScoringPerf:
         # Both runs finish the whole trace.
         assert row["default"]["completed"] == row["num_jobs"]
         assert row["incremental_gpr"]["completed"] == row["num_jobs"]
+
+    def test_incremental_scoring_speedup(self):
+        rows = run()["incremental_scoring"]
+        # PR 9 acceptance: the delta-scoring kernel at the CI quick tier
+        # (256 GPUs / 120 jobs / K = 256) is >= 2x generations/s over
+        # full per-generation rescoring, bit-identical (parity asserted
+        # inside the bench itself).
+        assert rows["256x120"]["speedup"] >= 2.0
+        # At the paper scale it must at least not regress.
+        assert rows["64x40"]["speedup"] >= 0.9
 
     def test_hierarchical_scale_budget(self):
         row = run()["scale"]["quick"]

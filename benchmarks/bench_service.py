@@ -34,18 +34,25 @@ from benchmarks._shared import SEED, write_perf_record, write_report
 
 #: Cluster sizes the SLOs are pinned at (the paper's 64 plus a 4x scale-up).
 CAPACITIES = (64, 256)
+#: The hierarchical tier: ONES-hier serving a 1024-GPU cluster (the
+#: ROADMAP scale-out target).  Runs only under ``REPRO_BENCH_FULL_SCALE=1``
+#: so the CI service-smoke stays cheap; its numbers are pinned in
+#: ``BENCH_service.json`` under the ``"1024-hier"`` key.
+HIER_CAPACITY = 1024
+HIER_PARTITION_SIZE = 64
 TENANTS = ("tenant-a", "tenant-b")
 SUBMISSIONS_PER_TENANT = int(os.environ.get("REPRO_BENCH_SERVICE_JOBS", "500"))
 
 
-def _measure(num_gpus: int) -> Dict[str, object]:
+def _measure(num_gpus: int, scheduler: str = "ONES", **options) -> Dict[str, object]:
     service = SchedulerService(
         ServiceConfig(
             num_gpus=num_gpus,
-            scheduler="ONES",
+            scheduler=scheduler,
             seed=SEED,
             mode="virtual",
             tenants=tuple(TenantQuota(tenant=name) for name in TENANTS),
+            scheduler_options=options,
         )
     )
     base = ArrivalConfig(rate=1.0 / 30.0, seed=SEED)
@@ -74,6 +81,7 @@ def _measure(num_gpus: int) -> Dict[str, object]:
 
     return {
         "num_gpus": num_gpus,
+        "scheduler": scheduler,
         "load": arrival_summary(load),
         "statuses": statuses,
         "decision_latency": metrics["decision_latency"],
@@ -96,21 +104,28 @@ def _measure(num_gpus: int) -> Dict[str, object]:
 def run() -> Dict[str, Dict[str, object]]:
     """Measure every capacity once per session; write report + perf record."""
     results = {str(capacity): _measure(capacity) for capacity in CAPACITIES}
+    if os.environ.get("REPRO_BENCH_FULL_SCALE"):
+        results["1024-hier"] = _measure(
+            HIER_CAPACITY, scheduler="ONES-hier", partition_size=HIER_PARTITION_SIZE
+        )
     lines = [
-        "Scheduler service SLOs (ONES, 2 tenants, "
+        "Scheduler service SLOs (2 tenants, "
         f"{2 * SUBMISSIONS_PER_TENANT} submissions per capacity)",
         "",
-        f"{'GPUs':>5} {'placed':>7} {'queued':>7} {'p50 ms':>8} {'p99 ms':>8} "
-        f"{'sub/s':>8} {'max queue':>10} {'completed':>10}",
+        f"{'cell':>10} {'GPUs':>5} {'placed':>7} {'queued':>7} {'p50 ms':>8} "
+        f"{'p99 ms':>8} {'sub/s':>8} {'max queue':>10} {'completed':>10}",
     ]
-    for capacity in CAPACITIES:
-        row = results[str(capacity)]
+    for key, row in results.items():
         latency = row["decision_latency"]
         lines.append(
-            f"{capacity:>5} {row['statuses']['placed']:>7} "
+            f"{key:>10} {row['num_gpus']:>5} {row['statuses']['placed']:>7} "
             f"{row['statuses']['queued']:>7} {latency['p50_ms']:>8.2f} "
             f"{latency['p99_ms']:>8.2f} {row['submissions_per_second']:>8.0f} "
             f"{row['queue_depth_max']:>10} {row['completed']:>10}"
+        )
+    if "1024-hier" not in results:
+        lines.append(
+            "(1024-GPU ONES-hier tier skipped; set REPRO_BENCH_FULL_SCALE=1 to run it)"
         )
     write_report("service_slos", "\n".join(lines))
     write_perf_record("service", {"capacities": results})

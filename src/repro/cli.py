@@ -148,6 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--arrival-interval", type=float, default=30.0)
     run.add_argument("--trace", type=Path, default=None, help="replay an existing trace JSON")
     run.add_argument("--seed", type=int, default=2021)
+    run.add_argument("--incremental-scoring", choices=["on", "off"], default=None,
+                     help="toggle the ONES delta-scoring generation kernel "
+                          "(default: on; 'off' forces full per-generation "
+                          "rescoring — results are bit-identical either way)")
+    run.add_argument("--profile", action="store_true",
+                     help="record per-phase wall-clock (ledger advance, handlers, "
+                          "GPR refits, evolution operators) and print it after "
+                          "the summary")
     _add_partition_arguments(run)
     run.add_argument("--csv", type=Path, default=None, help="export per-job metrics to CSV")
     run.add_argument("--json", type=Path, default=None, help="export run summary to JSON")
@@ -595,14 +603,29 @@ def cmd_run(args) -> int:
             "--partition-size/--partition-workers configure the ONES-hier "
             "scheduler; pass --scheduler ones-hier"
         )
+    if args.incremental_scoring is not None:
+        if canonical not in ("ONES", "ONES-hier"):
+            raise SystemExit(
+                "--incremental-scoring configures the ONES evolutionary "
+                "search; pass --scheduler ones or ones-hier"
+            )
+        options["incremental_scoring"] = args.incremental_scoring == "on"
     scheduler = create_scheduler(canonical, args.seed, **options)
     if args.trace:
         trace = load_trace(args.trace)
     else:
         trace = TraceGenerator(trace_config, seed=args.seed).generate()
-    result = simulate_trace(scheduler, trace, args.gpus, SimulationConfig())
+    simulation = SimulationConfig(collect_profile=bool(args.profile))
+    result = simulate_trace(scheduler, trace, args.gpus, simulation)
     summary = result.summary()
     print(format_table([{"metric": k, "value": v} for k, v in summary.items()]))
+    if args.profile and result.profile:
+        print()
+        print("Profile (wall-clock seconds per phase; events_* are counts):")
+        print(format_table([
+            {"phase": key, "value": f"{value:.6f}"}
+            for key, value in sorted(result.profile.items())
+        ]))
     if result.incomplete:
         print(f"WARNING: {len(result.incomplete)} jobs did not finish: {result.incomplete}")
     if args.csv:

@@ -28,7 +28,7 @@ which ``tests/test_core_evolution_batched.py`` asserts differentially.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.core.evolution_batched import (
     reindex_genomes,
     run_generation,
 )
+from repro.core.scoring_incremental import IncrementalScoringEngine
 from repro.core.operators import (
     EvolutionContext,
     refresh,
@@ -81,6 +82,15 @@ class EvolutionConfig:
         contexts without one silently use the scalar reference.  Both
         engines are bit-identical, so this flag only trades speed for
         debuggability.
+    incremental_scoring:
+        Maintain the per-candidate score decomposition (GPU counts +
+        placement locality) incrementally across operators and
+        generations (:mod:`repro.core.scoring_incremental`) instead of
+        re-deriving it from the genome matrix every generation.  Only
+        affects the batched path; bit-identical to both other paths,
+        with an automatic full rebuild whenever the population, roster,
+        genome width or topology changes (fault masking, partition-view
+        swaps).  Off reproduces the PR 3 batched baseline exactly.
     """
 
     population_size: Optional[int] = None
@@ -91,6 +101,7 @@ class EvolutionConfig:
     enable_mutation: bool = True
     enable_reorder: bool = True
     batched_operators: bool = True
+    incremental_scoring: bool = True
 
     def __post_init__(self) -> None:
         if self.population_size is not None:
@@ -132,6 +143,14 @@ class EvolutionarySearch:
         self.best_candidate: Optional[Schedule] = None
         self.best_score: float = float("inf")
         self.iterations_run: int = 0
+        #: Delta-scoring cache (used only when
+        #: ``config.incremental_scoring`` and the batched path run).
+        self.scoring_engine = IncrementalScoringEngine()
+        #: Per-operator wall-clock accrued by the batched generation
+        #: loop (``evo_fill``/``evo_crossover``/``evo_mutation``/
+        #: ``evo_selection`` + ``rescore_full``/``rescore_delta``);
+        #: surfaced through ``ONESScheduler.profile_phases``.
+        self.phase_seconds: Dict[str, float] = {}
 
     # -- population views -----------------------------------------------------------------------
 
@@ -184,6 +203,11 @@ class EvolutionarySearch:
         if self._genomes is not None and self._genomes.shape[1] != ctx.num_gpus:
             self._genomes = None
             self._genome_roster = None
+            # The genome width changed (fault masking / partition-view
+            # swap): the delta-scoring cache describes a cluster that no
+            # longer exists.  (prepare() would also notice via the
+            # population-identity check; dropping it here is explicit.)
+            self.scoring_engine.invalidate()
         if (
             len(self._members) > 0
             and self._members.members[0].genome.shape[0] != ctx.num_gpus
@@ -244,7 +268,13 @@ class EvolutionarySearch:
             self._genomes = stack_genomes(self._members.members)
             self._genome_roster = self._members.members[0].roster
             self._members = Population()
-        result = run_generation(self._genomes, ctx, self.config)
+        result = run_generation(
+            self._genomes,
+            ctx,
+            self.config,
+            engine=self.scoring_engine,
+            phases=self.phase_seconds,
+        )
         self._genomes = result.population
         self._genome_roster = ctx.roster
         best = Schedule.from_validated_genome(ctx.roster, result.best_genome)

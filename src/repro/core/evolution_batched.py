@@ -42,7 +42,8 @@ operators.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,6 +54,14 @@ from repro.core.scoring import (
     population_node_crossings,
     sample_progress,
     score_count_matrix,
+)
+from repro.core.scoring_incremental import (
+    IncrementalScoringEngine,
+    ScoreDecomposition,
+    build_decomposition,
+    fill_idle_decomposed,
+    reorder_decomposed,
+    score_decomposition,
 )
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
@@ -402,6 +411,20 @@ def refresh_population(
 # --- one full generation -------------------------------------------------------------------------
 
 
+def _charge(phases: Optional[Dict[str, float]], key: str, start: float) -> float:
+    """Accrue ``perf_counter() - start`` onto ``phases[key]``; new mark.
+
+    The per-operator attribution behind the ``--profile`` breakdown
+    (``evo_fill`` / ``evo_crossover`` / ``evo_mutation`` /
+    ``evo_selection`` plus ``rescore_full`` / ``rescore_delta``); a
+    ``None`` phases dict keeps both generation paths timer-free.
+    """
+    now = perf_counter()
+    if phases is not None:
+        phases[key] = phases.get(key, 0.0) + (now - start)
+    return now
+
+
 @dataclass(frozen=True)
 class GenerationResult:
     """Outcome of one batched generation (the matrix form of ``_iterate``)."""
@@ -419,7 +442,11 @@ class GenerationResult:
 
 
 def run_generation(
-    genomes: np.ndarray, ctx: EvolutionContext, config
+    genomes: np.ndarray,
+    ctx: EvolutionContext,
+    config,
+    engine: Optional[IncrementalScoringEngine] = None,
+    phases: Optional[Dict[str, float]] = None,
 ) -> GenerationResult:
     """One evolution generation as array ops over the genome matrix.
 
@@ -428,6 +455,14 @@ def run_generation(
     consuming ``ctx.rng`` in exactly the scalar call order so batched
     and scalar searches stay on identical trajectories.  ``config`` is
     an :class:`~repro.core.evolution.EvolutionConfig`.
+
+    With ``config.incremental_scoring`` on and an ``engine``
+    (:class:`~repro.core.scoring_incremental.IncrementalScoringEngine`)
+    supplied, the generation runs through the delta-scoring kernel: the
+    per-candidate :class:`~repro.core.scoring_incremental.ScoreDecomposition`
+    is maintained through every operator instead of re-derived, with
+    bit-identical results (the fuzz parity suite pins this).  ``phases``
+    optionally accrues per-operator wall-clock (see :func:`_charge`).
     """
     table = _require_table(ctx)
     if ctx.roster != table.roster:
@@ -442,7 +477,20 @@ def run_generation(
     desired = _desired_vector(ctx) if num_jobs else None
     remaining = _remaining_vector(ctx) if num_jobs else None
 
+    if (
+        engine is not None
+        and getattr(config, "incremental_scoring", False)
+        and num_jobs > 0
+        and num_gpus > 0
+        and genomes.shape[0] > 0
+    ):
+        return _run_generation_incremental(
+            genomes, ctx, config, engine, phases, table, size, desired, remaining
+        )
+
+    mark = perf_counter()
     refreshed = refresh_population(genomes, ctx, desired=desired, remaining=remaining)
+    mark = _charge(phases, "evo_fill", mark)
     population_rows = refreshed.shape[0]
     parts = [refreshed]
 
@@ -463,6 +511,7 @@ def run_generation(
         parts.append(
             fill_idle_population(children, ctx, desired=desired, remaining=remaining)
         )
+        mark = _charge(phases, "evo_crossover", mark)
 
     # Uniform mutation (Fig. 9): the member pick and the per-placed-job
     # preemption coins follow the scalar draw order (one vectorised
@@ -488,6 +537,7 @@ def run_generation(
         parts.append(
             fill_idle_population(mutated, ctx, desired=desired, remaining=remaining)
         )
+        mark = _charge(phases, "evo_mutation", mark)
 
     pool = np.concatenate(parts, axis=0) if len(parts) > 1 else parts[0].copy()
     if config.enable_reorder:
@@ -504,6 +554,168 @@ def run_generation(
     )
     order = np.argsort(scores, kind="stable")[:size]
     survivors = pool[order]
+    _charge(phases, "evo_selection", mark)
+    return GenerationResult(
+        population=survivors,
+        scores=scores[order],
+        best_genome=survivors[0].copy(),
+        best_score=float(scores[order[0]]),
+        pool_size=pool.shape[0],
+    )
+
+
+def _refresh_decomposed(
+    genomes: np.ndarray,
+    ctx: EvolutionContext,
+    decomp: ScoreDecomposition,
+    desired: np.ndarray,
+    remaining: np.ndarray,
+) -> np.ndarray:
+    """:func:`refresh_population` maintaining the decomposition.
+
+    The shrink pass — an ``(K, num_gpus, num_jobs)`` occurrence-rank
+    one-hot in the non-incremental path — is skipped outright when no
+    cached count exceeds its job's desired share (``rank >= desired``
+    can then never fire), and otherwise runs only over the
+    over-provisioned rows; new-job placement rebuilds just the rows it
+    touched.  Genome output is bit-identical to the non-incremental
+    refresh.
+    """
+    genomes = np.array(genomes, dtype=np.int64)
+    num_jobs = len(ctx.roster)
+    over = decomp.counts > desired[None, :]
+    if over.any():
+        rows = np.flatnonzero(over.any(axis=1))
+        sub = genomes[rows]
+        onehot = sub[:, :, None] == np.arange(num_jobs)[None, None, :]
+        occurrence = onehot.cumsum(axis=1)
+        gene = np.where(sub == IDLE, 0, sub)
+        rank = np.take_along_axis(occurrence, gene[:, :, None], axis=2)[:, :, 0] - 1
+        sub[(sub != IDLE) & (rank >= desired[gene])] = IDLE
+        genomes[rows] = sub
+        decomp.rebuild_rows(genomes, rows)
+
+    never = np.array([j in ctx.never_started for j in ctx.roster], dtype=bool)
+    if never.any():
+        touched = np.flatnonzero((never[None, :] & (decomp.counts == 0)).any(axis=1))
+        for row in touched:
+            _place_new_jobs_row(genomes[row], ctx)
+        decomp.rebuild_rows(genomes, touched)
+
+    return fill_idle_decomposed(genomes, ctx, decomp, desired, remaining)
+
+
+def _run_generation_incremental(
+    genomes: np.ndarray,
+    ctx: EvolutionContext,
+    config,
+    engine: IncrementalScoringEngine,
+    phases: Optional[Dict[str, float]],
+    table,
+    size: int,
+    desired: np.ndarray,
+    remaining: np.ndarray,
+) -> GenerationResult:
+    """The delta-scoring twin of :func:`run_generation`'s main body.
+
+    Identical RNG stream, identical genomes, identical scores; the
+    difference is purely that counts/crossings flow through the
+    engine's cached :class:`ScoreDecomposition` instead of being
+    re-derived by global bincounts, presence reductions and one-hots.
+    """
+    num_gpus = genomes.shape[1]
+    num_jobs = len(ctx.roster)
+
+    mark = perf_counter()
+    decomp, rebuilt = engine.prepare(genomes, ctx.roster, table)
+    mark = _charge(phases, "rescore_full" if rebuilt else "rescore_delta", mark)
+
+    refreshed = _refresh_decomposed(genomes, ctx, decomp, desired, remaining)
+    mark = _charge(phases, "evo_fill", mark)
+    population_rows = refreshed.shape[0]
+    parts = [refreshed]
+    decomp_parts = [decomp]
+
+    if config.enable_crossover and population_rows >= 2:
+        pairs = config.resolved_crossover_pairs(size)
+        children = np.empty((2 * pairs, num_gpus), dtype=np.int64)
+        for pair in range(pairs):
+            first, second = ctx.rng.choice(population_rows, size=2, replace=False)
+            mask = ctx.rng.integers(0, 2, size=num_gpus).astype(bool)
+            parent_a = refreshed[int(first)]
+            parent_b = refreshed[int(second)]
+            children[2 * pair] = np.where(mask, parent_a, parent_b)
+            children[2 * pair + 1] = np.where(mask, parent_b, parent_a)
+        # Children mix whole parents, so roughly half their cells moved:
+        # a fresh build over the 2·pairs new rows is the delta update.
+        child_decomp = build_decomposition(children, num_jobs, decomp.node_of)
+        parts.append(
+            fill_idle_decomposed(children, ctx, child_decomp, desired, remaining)
+        )
+        decomp_parts.append(child_decomp)
+        mark = _charge(phases, "evo_crossover", mark)
+
+    if config.enable_mutation:
+        mutated = np.empty((size, num_gpus), dtype=np.int64)
+        mut_counts = np.empty((size, num_jobs), dtype=np.int64)
+        mut_crosses = np.empty((size, num_jobs), dtype=bool)
+        mut_sole = np.empty((size, num_jobs), dtype=np.int64)
+        victim = np.zeros(num_jobs + 1, dtype=bool)
+        for m in range(size):
+            member = int(ctx.rng.integers(0, population_rows))
+            row = refreshed[member]
+            # Bit-identical to ``np.unique(row[row != IDLE])``: the
+            # cached counts row already knows the placed jobs, sorted.
+            placed = np.flatnonzero(decomp.counts[member] > 0)
+            coins = ctx.rng.random(placed.size)
+            preempted = placed[coins < config.mutation_rate]
+            mut_counts[m] = decomp.counts[member]
+            mut_crosses[m] = decomp.crosses[member]
+            mut_sole[m] = decomp.sole_node[member]
+            if preempted.size:
+                victim[preempted] = True
+                mutated[m] = np.where(victim[row], IDLE, row)
+                victim[preempted] = False
+                # Preempting a job empties exactly its own cells; every
+                # other job's placement (and hence cell) is untouched.
+                mut_counts[m, preempted] = 0
+                mut_crosses[m, preempted] = False
+                mut_sole[m, preempted] = -1
+            else:
+                mutated[m] = row
+        mut_decomp = ScoreDecomposition(
+            mut_counts, mut_crosses, mut_sole, decomp.node_of
+        )
+        parts.append(
+            fill_idle_decomposed(mutated, ctx, mut_decomp, desired, remaining)
+        )
+        decomp_parts.append(mut_decomp)
+        mark = _charge(phases, "evo_mutation", mark)
+
+    if len(parts) > 1:
+        pool = np.concatenate(parts, axis=0)
+        pool_decomp = ScoreDecomposition.concatenate(decomp_parts)
+    else:
+        pool = parts[0].copy()
+        pool_decomp = decomp_parts[0]
+    if config.enable_reorder:
+        pool = reorder_decomposed(pool, pool_decomp, engine.node_monotone)
+
+    # Selection (Algorithm 1) off the cached decomposition: dedup keeps
+    # first-seen rows (identical cells regardless of which duplicate's
+    # cache row survives), scoring reuses counts/crossings untouched.
+    if pool.shape[0] > 1:
+        _, first_seen = np.unique(pool, axis=0, return_index=True)
+        keep = np.sort(first_seen)
+        if keep.size != pool.shape[0]:
+            pool = pool[keep]
+            pool_decomp = pool_decomp.take(keep)
+    progress = sample_progress(ctx.jobs, ctx.distributions, ctx.rng)
+    scores = score_decomposition(pool_decomp, ctx.roster, ctx.jobs, progress, table)
+    order = np.argsort(scores, kind="stable")[:size]
+    survivors = pool[order]
+    engine.commit(survivors, pool_decomp.take(order))
+    _charge(phases, "evo_selection", mark)
     return GenerationResult(
         population=survivors,
         scores=scores[order],

@@ -88,6 +88,14 @@ class ONESScheduler(SchedulerBase):
         self._virtual_clusters: Dict[frozenset, Tuple] = {}
         self._throughput_memo = BoundedMemo(self.config.throughput_memo_entries)
         self.last_throughput_table: Optional[ThroughputTable] = None
+        #: Inputs the cached table was built from: (roster, num_gpus,
+        #: per-roster-job batch limits).  The throughput model is held
+        #: as a strong reference and compared by identity, so fault
+        #: masking / partition-view swaps (different virtual model
+        #: objects) invalidate the cache structurally.
+        self._table_signature: Optional[Tuple] = None
+        self._table_model: Optional[object] = None
+        self.num_table_reuses: int = 0
         self.num_full_updates: int = 0
         self.num_incremental_fills: int = 0
 
@@ -137,16 +145,48 @@ class ONESScheduler(SchedulerBase):
         planes per count), reused across every candidate and evolution
         iteration of this invocation, and backed by a bounded
         cross-invocation memo of raw model evaluations.
+
+        Since the table's entries depend only on the roster, the
+        per-job batch limits ``R_j``, the cluster size and the model,
+        the previous event's table (and its lazily-filled entries) is
+        reused verbatim whenever none of those changed — the common
+        case for epoch-end bursts between limit adjustments.  Any
+        change builds a fresh table with a new
+        :attr:`~repro.jobs.throughput.ThroughputTable.version`, which
+        is how dependent caches learn the old values are dead.
         """
+        active = state.active_jobs()
+        signature = (
+            roster,
+            state.topology.num_gpus,
+            tuple(
+                int(
+                    self.limiter.limits().get(
+                        job_id, active[job_id].spec.base_batch
+                    )
+                )
+                for job_id in roster
+            ),
+        )
+        cached = self.last_throughput_table
+        if (
+            cached is not None
+            and self._table_model is state.throughput_model
+            and self._table_signature == signature
+        ):
+            self.num_table_reuses += 1
+            return cached
         table = ThroughputTable(
             state.throughput_model,
-            state.active_jobs(),
+            active,
             self.limiter.limits(),
             state.topology.num_gpus,
             roster=roster,
             memo=self._throughput_memo,
         )
         self.last_throughput_table = table
+        self._table_signature = signature
+        self._table_model = state.throughput_model
         return table
 
     def _build_context(self, state: ClusterState) -> EvolutionContext:
@@ -323,18 +363,28 @@ class ONESScheduler(SchedulerBase):
 
         The simulator merges these into ``SimulationResult.profile`` when
         the run was configured with ``collect_profile=True``, which is
-        how the GPR-refit share of a run becomes measurable.
+        how the GPR-refit share of a run becomes measurable.  The
+        ``evo_*`` operator phases and the ``rescore_full`` /
+        ``rescore_delta`` attribution come from the batched generation
+        loop (see :func:`repro.core.evolution_batched.run_generation`),
+        so a ``--profile`` run shows exactly where a generation's
+        wall-clock goes and how much of it the incremental-scoring
+        cache absorbed.
         """
-        return {
+        phases = {
             "gpr_refit": self.predictor.refit_seconds,
             "gpr_partial_fit": self.predictor.partial_fit_seconds,
         }
+        phases.update(self.search.phase_seconds)
+        return phases
 
     def describe_state(self) -> Dict[str, object]:
         """Debug summary used in logs and the quickstart example."""
+        scoring = self.search.scoring_engine.stats()
         return {
             "population_size": self.search.population_size,
             "batched_operators": self.config.evolution.batched_operators,
+            "incremental_scoring": self.config.evolution.incremental_scoring,
             "iterations_run": self.search.iterations_run,
             "predictor_fits": self.predictor.fit_count,
             "predictor_partial_fits": self.predictor.partial_fit_count,
@@ -343,4 +393,8 @@ class ONESScheduler(SchedulerBase):
             "incremental_fills": self.num_incremental_fills,
             "tracked_limits": len(self.limiter.limits()),
             "throughput_memo_entries": len(self._throughput_memo),
+            "throughput_table_reuses": self.num_table_reuses,
+            "scoring_delta_generations": scoring["delta_generations"],
+            "scoring_full_rebuilds": scoring["full_rebuilds"],
+            "scoring_table_swaps": scoring["table_swaps"],
         }

@@ -634,6 +634,21 @@ class HierarchicalONESScheduler(SchedulerBase):
             "incremental_fills": sum(
                 p.inner.num_incremental_fills for p in self._partitions
             ),
+            "throughput_table_reuses": sum(
+                p.inner.num_table_reuses for p in self._partitions
+            ),
+            "scoring_delta_generations": sum(
+                p.inner.search.scoring_engine.stats()["delta_generations"]
+                for p in self._partitions
+            ),
+            "scoring_full_rebuilds": sum(
+                p.inner.search.scoring_engine.stats()["full_rebuilds"]
+                for p in self._partitions
+            ),
+            "scoring_table_swaps": sum(
+                p.inner.search.scoring_engine.stats()["table_swaps"]
+                for p in self._partitions
+            ),
         }
 
 

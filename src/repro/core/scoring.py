@@ -24,6 +24,16 @@ Two implementations are provided:
   expressions.  Given the same progress samples and the same throughput
   source, both paths produce bit-identical scores (the parity tests
   assert exact equality).
+
+A third layer builds on the vectorised engine:
+:mod:`repro.core.scoring_incremental` caches the *progress-independent*
+score inputs (the per-candidate GPU-count matrix and locality flags that
+:func:`score_count_matrix` consumes) across generations and maintains
+them through the evolution operators, so each generation only pays for
+the candidates it actually changed.  ``score_count_matrix`` is therefore
+a shared contract: its float expression must not be refactored (FP
+addition is non-associative; all three layers pin bit-identical scores
+against it).
 """
 
 from __future__ import annotations

@@ -318,7 +318,22 @@ class ThroughputTable:
     dict.  An optional shared ``memo`` (see :class:`BoundedMemo`)
     carries model evaluations across invocations, keyed by
     ``(model, global batch, count, crosses nodes)``.
+
+    Every table carries a monotonically-increasing :attr:`version`
+    stamped at construction (and re-stamped by :meth:`invalidate`).
+    Downstream caches keyed on a table's values — the scheduler-level
+    table reuse in :class:`~repro.core.ones_scheduler.ONESScheduler`,
+    the delta-scoring engine's attribution counters — compare versions
+    instead of array contents: a different version means "treat every
+    cached row as dirty".
     """
+
+    _version_counter = 0
+
+    @classmethod
+    def _next_version(cls) -> int:
+        ThroughputTable._version_counter += 1
+        return ThroughputTable._version_counter
 
     def __init__(
         self,
@@ -359,6 +374,7 @@ class ThroughputTable:
         if self._table.size:
             self._table[:, 0, :] = 0.0
         self.model_calls = 0
+        self._version = self._next_version()
 
     @classmethod
     def from_matrix(
@@ -392,6 +408,7 @@ class ThroughputTable:
         table._multi_node_cluster = False
         table._table = matrix.copy()
         table.model_calls = 0
+        table._version = cls._next_version()
         return table
 
     # -- introspection ------------------------------------------------------------
@@ -410,6 +427,21 @@ class ThroughputTable:
     def node_of(self) -> np.ndarray:
         """Vectorised GPU-id → node-id map of the underlying topology."""
         return self._node_of
+
+    @property
+    def version(self) -> int:
+        """Monotone cache-invalidation stamp (see the class docstring)."""
+        return self._version
+
+    def invalidate(self) -> None:
+        """Re-stamp :attr:`version`, marking every dependent cache dirty.
+
+        The table's own entries stay (they are still correct for its
+        inputs); this exists for callers that mutated one of those
+        inputs in place — e.g. a batch-size limit — while holding onto
+        the table instance.
+        """
+        self._version = self._next_version()
 
     @property
     def capacity(self) -> int:

@@ -4,7 +4,14 @@ A :class:`SimProfile` is the cheap, always-serialisable record of where a
 simulation spent its host wall-clock: advancing the progress ledger,
 inside each event-kind handler (which includes the scheduler callback
 that handler invokes), and — for schedulers that report it, like ONES —
-inside predictor refits.  It is threaded through the experiment layer by
+inside predictor refits.  Schedulers may attribute finer-grained phases
+through :meth:`SimProfile.record`; ONES reports its per-operator
+evolution breakdown this way (``evo_fill``, ``evo_crossover``,
+``evo_mutation``, ``evo_selection``) plus the scoring-cache phases
+``rescore_full`` (decomposition rebuilds) and ``rescore_delta``
+(incremental cache reuse) — see
+:mod:`repro.core.scoring_incremental`.  It is threaded through the
+experiment layer by
 ``SimulationConfig.collect_profile``: any declarative
 :class:`~repro.experiments.spec.RunSpec` can switch it on, and the
 resulting phase table rides along in the ``SimulationResult`` (and hence
