@@ -459,6 +459,91 @@ def _bench_hierarchical_scale() -> Dict[str, Dict]:
     return records
 
 
+def _bench_observability() -> Dict:
+    """Trace-recorder cost at the 256x120 smoke tier: dormant + recording.
+
+    The observability contract mirrors the fault subsystem's: merely
+    *shipping* the tracer hooks (the ``active_tracer()`` global read +
+    branch on every instrumentation site, the kernel's per-event
+    ``enabled`` check) must cost the traced-off event loop nothing
+    measurable.  ``disabled_overhead`` compares a run with no recorder
+    installed against a run with a recorder installed but *disabled* —
+    trajectories must be identical and the wall-clock within a few
+    percent (gated <3% below).  One fully-traced run is recorded
+    alongside so the cost of tracing-on (and the record volume it buys)
+    stays in the perf trajectory.
+
+    The horizon is capped at the first 600 virtual seconds of the tier's
+    trace: a ~3 s measured run instead of ~12 s buys five interleaved
+    rounds per side, and best-of-N over short interleaved runs is far
+    more robust to background machine noise than best-of-3 over long
+    ones — the dormant delta under test is a global read and a branch
+    per instrumentation site, far below long-run noise amplitude.
+    """
+    from repro.obs.trace import TraceRecorder, install_tracer, uninstall_tracer
+
+    num_gpus, num_jobs, partition_size, interval = SCALE_TIERS["quick"]
+    config = ExperimentConfig(
+        num_gpus=num_gpus,
+        trace=TraceConfig(num_jobs=num_jobs, arrival_rate=1.0 / interval),
+        seed=SEED,
+    )
+    trace = generate_trace(config)
+    sim_config = SimulationConfig(max_time=600.0)
+
+    def timed_run():
+        scheduler = create_scheduler("ONES-hier", SEED, partition_size=partition_size)
+        start = perf_counter()
+        result = simulate_trace(scheduler, trace, num_gpus, sim_config)
+        return result, perf_counter() - start
+
+    uninstall_tracer()
+    timed_run()  # warm-up: throughput-table and numpy caches
+    # Per-round pairwise ratios, then the median across rounds: pairing
+    # adjacent-in-time runs cancels slow machine drift that poisons
+    # min-of-N over independent series, and the median sheds the rounds
+    # a background burst landed in.
+    dormant_ratios, tracing_ratios = [], []
+    baseline_times, dormant_times = [], []
+    baseline_result = dormant_result = traced_result = None
+    recorder = None
+    for round_index in range(6):
+        # Alternate which side runs first so within-round drift cannot
+        # systematically favour either side.
+        dormant_first = bool(round_index % 2)
+        if dormant_first:
+            install_tracer(TraceRecorder(enabled=False))
+            dormant_result, dormant_elapsed = timed_run()
+            uninstall_tracer()
+            baseline_result, baseline_elapsed = timed_run()
+        else:
+            baseline_result, baseline_elapsed = timed_run()
+            install_tracer(TraceRecorder(enabled=False))
+            dormant_result, dormant_elapsed = timed_run()
+            uninstall_tracer()
+        baseline_times.append(baseline_elapsed)
+        dormant_times.append(dormant_elapsed)
+        recorder = install_tracer(TraceRecorder(capacity=1 << 20))
+        traced_result, traced_elapsed = timed_run()
+        uninstall_tracer()
+        dormant_ratios.append(dormant_elapsed / baseline_elapsed)
+        tracing_ratios.append(traced_elapsed / baseline_elapsed)
+    if baseline_result.completed != dormant_result.completed:
+        raise AssertionError("a dormant trace recorder changed the trajectory")
+    if traced_result.completed != baseline_result.completed:
+        raise AssertionError("an enabled trace recorder changed the trajectory")
+    return {
+        "num_gpus": num_gpus,
+        "num_jobs": num_jobs,
+        "baseline_seconds": round(min(baseline_times), 3),
+        "dormant_seconds": round(min(dormant_times), 3),
+        "disabled_overhead": round(float(np.median(dormant_ratios)) - 1.0, 4),
+        "tracing_overhead": round(float(np.median(tracing_ratios)) - 1.0, 4),
+        "trace_records": len(recorder),
+        "trace_records_dropped": recorder.dropped,
+    }
+
+
 @lru_cache(maxsize=1)
 def run() -> Dict:
     """Benchmark every scale and persist the BENCH_scoring.json record."""
@@ -509,6 +594,7 @@ def run() -> Dict:
     faults = _bench_faults()
     incremental = _bench_incremental_scoring()
     scale = _bench_hierarchical_scale()
+    observability = _bench_observability()
 
     lines = ["Population scoring: scalar reference vs vectorised engine", ""]
     lines.append(
@@ -600,6 +686,16 @@ def run() -> Dict:
             "(full 1024-GPU / 1000-job tier skipped; set "
             "REPRO_BENCH_FULL_SCALE=1 to run it)"
         )
+    lines += [
+        "",
+        f"Trace recorder ({observability['num_gpus']} GPUs, "
+        f"{observability['num_jobs']} jobs, ONES-hier): "
+        f"dormant overhead {100 * observability['disabled_overhead']:+.1f}% "
+        f"({observability['baseline_seconds']}s -> "
+        f"{observability['dormant_seconds']}s, identical trajectories); "
+        f"tracing on: {observability['trace_records']:,} records "
+        f"at {100 * observability['tracing_overhead']:+.1f}%",
+    ]
     write_report("perf_scoring", "\n".join(lines))
     record = {
         "scales": results,
@@ -609,6 +705,7 @@ def run() -> Dict:
         "faults": faults,
         "incremental_scoring": incremental,
         "scale": scale,
+        "observability": observability,
     }
     write_perf_record("scoring", record)
     return record
@@ -670,6 +767,18 @@ class TestScoringPerf:
         assert row["completed"] == row["num_jobs"]
         assert row["partitions"] == 4
         assert row["seconds"] < 180.0
+
+    def test_observability_dormant_overhead(self):
+        row = run()["observability"]
+        # PR 10 acceptance: shipping the trace-recorder hooks costs the
+        # tracing-off event loop <3% at the 256x120 smoke tier (the
+        # dormant run has a recorder installed but disabled, so every
+        # instrumentation site takes its guard branch; trajectory
+        # identity — tracing on AND off — is asserted inside the bench).
+        assert row["disabled_overhead"] < 0.03
+        # The traced run actually recorded the simulation.
+        assert row["trace_records"] > 0
+        assert row["trace_records_dropped"] == 0
 
     def test_fault_subsystem_disabled_overhead(self):
         row = run()["faults"]

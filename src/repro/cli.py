@@ -134,12 +134,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    trace = sub.add_parser("trace", help="generate a workload trace")
+    trace = sub.add_parser(
+        "trace",
+        help="generate a workload trace, or inspect a recorded execution trace",
+        description="Without a positional argument: generate a workload trace "
+                    "(--output required). With TRACE_FILE: inspect a JSONL "
+                    "execution trace written by --trace-out (summary, span "
+                    "tree, filters, Chrome/Perfetto export).",
+    )
+    trace.add_argument("trace_file", type=Path, nargs="?", default=None,
+                       help="a --trace-out JSONL file to inspect instead of "
+                            "generating a workload trace")
     trace.add_argument("--jobs", type=int, default=50)
     trace.add_argument("--arrival-interval", type=float, default=30.0,
                        help="mean seconds between arrivals")
     trace.add_argument("--seed", type=int, default=2021)
-    trace.add_argument("--output", type=Path, required=True, help="JSON file to write")
+    trace.add_argument("--output", type=Path, default=None,
+                       help="JSON file to write (required when generating)")
+    trace.add_argument("--tree", action="store_true",
+                       help="inspector: print the nested span/event tree")
+    trace.add_argument("--filter-cat", default=None, metavar="SUBSTR",
+                       help="inspector: only records whose category contains SUBSTR")
+    trace.add_argument("--filter-name", default=None, metavar="SUBSTR",
+                       help="inspector: only records whose name contains SUBSTR")
+    trace.add_argument("--limit", type=int, default=200, metavar="N",
+                       help="inspector: cap the number of tree lines (default 200)")
+    trace.add_argument("--chrome", type=Path, default=None, metavar="OUT",
+                       help="inspector: export Chrome trace_event JSON "
+                            "(open in Perfetto / chrome://tracing)")
 
     run = sub.add_parser("run", help="run one scheduler over a trace")
     run.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="ones")
@@ -159,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_partition_arguments(run)
     run.add_argument("--csv", type=Path, default=None, help="export per-job metrics to CSV")
     run.add_argument("--json", type=Path, default=None, help="export run summary to JSON")
+    run.add_argument("--trace-out", type=Path, default=None, metavar="PATH",
+                     help="record a structured execution trace (reconfig "
+                          "decisions, evolution generations, faults) and write "
+                          "it as JSONL; inspect with `repro-ones trace PATH`")
 
     compare = sub.add_parser("compare", help="compare ONES against the paper baselines")
     compare.add_argument("--schedulers", "--scheduler", nargs="+",
@@ -179,6 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--json", type=Path, default=None)
     compare.add_argument("--report", type=Path, default=None,
                          help="write a Markdown report of the comparison")
+    compare.add_argument("--trace-out", type=Path, default=None, metavar="PATH",
+                         help="record a structured execution trace of every "
+                              "cell (serial backend only) and write it as JSONL")
 
     sweep = sub.add_parser("sweep", help="scalability sweep over cluster capacities")
     sweep.add_argument("--capacities", type=int, nargs="+", default=[16, 32, 48, 64])
@@ -230,12 +259,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="chaos hook: sleep between claiming and executing "
                              "(gives kill-mid-cell drills a window)")
     worker.add_argument("--quiet", action="store_true")
+    worker.add_argument("--trace-out", type=Path, default=None, metavar="PATH",
+                        help="record queue lease transitions (claim/heartbeat/"
+                             "complete/expire/dead) and execute spans; written "
+                             "as JSONL on exit")
 
     qstatus = sub.add_parser("queue-status",
                              help="inspect a durable queue directory")
     qstatus.add_argument("queue_dir", type=Path)
     qstatus.add_argument("--cells", action="store_true",
                          help="also print one row per cell")
+    qstatus.add_argument("--since", type=float, default=None, metavar="SECONDS",
+                         help="with --cells: only cells whose newest event-log "
+                              "record is at most SECONDS old")
     qstatus.add_argument("--json", action="store_true",
                          help="emit a machine-readable snapshot (states, cells, "
                               "lease ages) instead of the tables")
@@ -265,6 +301,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="register a tenant with optional max outstanding GPUs "
                             "and max active jobs; repeatable. No --tenant = open "
                             "admission (tenants auto-register unlimited)")
+    serve.add_argument("--trace-out", type=Path, default=None, metavar="PATH",
+                       help="record admit/reject decisions and kernel events "
+                            "for the service's lifetime; written as JSONL on "
+                            "shutdown")
 
     submit = sub.add_parser(
         "submit",
@@ -585,6 +625,12 @@ def _report_failed_cells(sweep) -> int:
 
 
 def cmd_trace(args) -> int:
+    if args.trace_file is not None:
+        return _inspect_trace(args)
+    if args.output is None:
+        raise SystemExit("--output is required when generating a workload trace "
+                         "(pass a JSONL file as positional argument to inspect "
+                         "an execution trace instead)")
     config = TraceConfig(num_jobs=args.jobs, arrival_rate=1.0 / args.arrival_interval)
     trace = TraceGenerator(config, seed=args.seed).generate()
     save_trace(trace, args.output)
@@ -592,6 +638,72 @@ def cmd_trace(args) -> int:
     print(f"Wrote {len(trace)} jobs to {args.output}")
     print(format_table([{"statistic": k, "value": round(v, 2)} for k, v in stats.items()]))
     return 0
+
+
+def _inspect_trace(args) -> int:
+    """The ``repro-ones trace TRACE_FILE`` inspector: summary/tree/export."""
+    from repro.obs.trace import (
+        export_chrome_trace,
+        filter_records,
+        format_tree,
+        load_jsonl,
+        summarize,
+        validate_trace_file,
+    )
+
+    errors = validate_trace_file(str(args.trace_file))
+    if errors:
+        print(f"SCHEMA ERRORS in {args.trace_file}:")
+        for message in errors[:20]:
+            print(f"  {message}")
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more")
+        return 1
+    meta, records = load_jsonl(str(args.trace_file))
+    records = filter_records(records, cat=args.filter_cat, name=args.filter_name)
+    summary = summarize(records)
+    dropped = meta.get("dropped", 0)
+    print(f"Trace {args.trace_file}: {summary['records']} records "
+          f"({summary['spans']} spans, {summary['events']} events"
+          f"{f', {dropped} dropped by ring buffer' if dropped else ''}), "
+          f"t = [{summary['t_min']:.6g}s .. {summary['t_max']:.6g}s]"
+          if summary["records"]
+          else f"Trace {args.trace_file}: 0 records match")
+    if summary["records"]:
+        print(format_table([
+            {"category": cat, "records": count}
+            for cat, count in summary["by_cat"].items()
+        ]))
+        print(format_table([
+            {"name": name, "records": count}
+            for name, count in summary["by_name"].items()
+        ]))
+    if args.tree:
+        print()
+        for line in format_tree(records, max_records=args.limit):
+            print(line)
+    if args.chrome:
+        export_chrome_trace(records, str(args.chrome))
+        print(f"Chrome trace written to {args.chrome} "
+              f"(open in Perfetto: https://ui.perfetto.dev)")
+    return 0
+
+
+def _install_cli_tracer() -> "object":
+    """Install a process-wide recorder for a ``--trace-out`` run."""
+    from repro.obs.trace import TraceRecorder, install_tracer
+
+    return install_tracer(TraceRecorder())
+
+
+def _export_cli_trace(path) -> None:
+    from repro.obs.trace import uninstall_tracer
+
+    tracer = uninstall_tracer()
+    if tracer is not None:
+        count = tracer.export_jsonl(str(path))
+        suffix = f" ({tracer.dropped} dropped by ring buffer)" if tracer.dropped else ""
+        print(f"trace: {count} records written to {path}{suffix}")
 
 
 def cmd_run(args) -> int:
@@ -616,7 +728,11 @@ def cmd_run(args) -> int:
     else:
         trace = TraceGenerator(trace_config, seed=args.seed).generate()
     simulation = SimulationConfig(collect_profile=bool(args.profile))
+    if args.trace_out:
+        _install_cli_tracer()
     result = simulate_trace(scheduler, trace, args.gpus, simulation)
+    if args.trace_out:
+        _export_cli_trace(args.trace_out)
     summary = result.summary()
     print(format_table([{"metric": k, "value": v} for k, v in summary.items()]))
     if args.profile and result.profile:
@@ -653,8 +769,17 @@ def _run_grid(runner: Runner, spec: ExperimentSpec, resume: bool):
 
 def cmd_compare(args) -> int:
     spec = _experiment_spec(args, capacities=[args.gpus], seeds=[args.seed])
+    if args.trace_out:
+        if args.backend not in (None, "serial") or args.workers > 1:
+            raise SystemExit(
+                "--trace-out records in-process: it requires the serial "
+                "backend (drop --backend/--workers)"
+            )
+        _install_cli_tracer()
     runner = _make_runner(args)
     sweep = _run_grid(runner, spec, args.resume)
+    if args.trace_out:
+        _export_cli_trace(args.trace_out)
     print(f"[runner] {runner.stats.describe()} ({runner.backend.name} backend)")
     if sweep.dead_runs():
         if args.output_dir:
@@ -779,6 +904,7 @@ def cmd_worker(args) -> int:
         hold_s=args.hold_s,
         verbose=not args.quiet,
         skew_margin=args.skew_margin,
+        trace_out=str(args.trace_out) if args.trace_out else None,
     )
     return 0
 
@@ -802,9 +928,11 @@ def cmd_queue_status(args) -> int:
         {"state": name, "count": count} for name, count in status.as_dict().items()
     ]))
     if args.cells:
-        rows = queue.cell_rows()
+        rows = queue.cell_rows(since=args.since)
         if rows:
             print(format_table(rows))
+        elif args.since is not None:
+            print(f"(no cells with events in the last {args.since:.0f}s)")
     return 0 if not status.dead else 1
 
 
@@ -838,7 +966,13 @@ def cmd_serve(args) -> int:
         tenants=tuple(_parse_tenant_flag(raw) for raw in (args.tenant or [])),
     )
     port = args.port if args.port is not None else DEFAULT_PORT
-    return run_server(config, host=args.host, port=port)
+    if args.trace_out:
+        _install_cli_tracer()
+    try:
+        return run_server(config, host=args.host, port=port)
+    finally:
+        if args.trace_out:
+            _export_cli_trace(args.trace_out)
 
 
 def cmd_submit(args) -> int:
@@ -944,6 +1078,13 @@ def cmd_service_status(args) -> int:
         print(f"Decision latency: p50 {overall['p50_ms']:.2f} ms, "
               f"p99 {overall['p99_ms']:.2f} ms over {int(overall['count'])} decisions "
               f"({metrics['submissions_per_second']:.1f} submissions/s)")
+        scheduler_metrics = metrics.get("scheduler") or {}
+        if scheduler_metrics:
+            print("Scheduler counters (from the metrics registry):")
+            print(format_table([
+                {"metric": name, "value": value}
+                for name, value in sorted(scheduler_metrics.items())
+            ]))
     if summary is not None:
         print(f"Drained: {summary['completed_jobs']} completed / "
               f"{summary['incomplete_jobs']} incomplete, avg JCT "

@@ -143,6 +143,10 @@ class EvolutionarySearch:
         self.best_candidate: Optional[Schedule] = None
         self.best_score: float = float("inf")
         self.iterations_run: int = 0
+        #: Best score of each generation in the most recent :meth:`step`
+        #: call — the scheduler turns these into per-generation trace
+        #: events (the search itself has no clock).
+        self.last_iteration_scores: List[float] = []
         #: Delta-scoring cache (used only when
         #: ``config.incremental_scoring`` and the batched path run).
         self.scoring_engine = IncrementalScoringEngine()
@@ -248,9 +252,11 @@ class EvolutionarySearch:
         """
         self.ensure_population(ctx, current)
         best: Optional[Tuple[Schedule, float]] = None
+        self.last_iteration_scores = []
         for _ in range(self.config.iterations_per_invocation):
             best = self._iterate(ctx)
             self.iterations_run += 1
+            self.last_iteration_scores.append(float(best[1]))
         assert best is not None
         self.best_candidate, self.best_score = best
         return best

@@ -43,6 +43,8 @@ from repro.jobs.throughput import (
     derive_global_batch,
     split_batch,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import active_tracer
 from repro.prediction.predictor import PredictorConfig, ProgressPredictor
 from repro.scaling.overhead import ReconfigurationKind
 from repro.utils.rng import SeedLike, as_generator
@@ -98,6 +100,11 @@ class ONESScheduler(SchedulerBase):
         self.num_table_reuses: int = 0
         self.num_full_updates: int = 0
         self.num_incremental_fills: int = 0
+        #: Shard label stamped onto trace records ("" for a flat
+        #: scheduler; the hierarchical reconciler sets "p<i>" per
+        #: partition).  A plain string so pickled inner schedulers
+        #: (parallel evolution workers) carry no recorder reference.
+        self.trace_label: str = ""
 
     # ------------------------------------------------------------------ callbacks
 
@@ -288,8 +295,28 @@ class ONESScheduler(SchedulerBase):
             current = Schedule.from_allocation(
                 ctx.roster, state.topology.num_gpus, state.allocation
             )
+            tracer = active_tracer()
+            span = stats_before = None
+            if tracer is not None:
+                stats_before = dict(self.search.scoring_engine.stats())
+                span = tracer.begin_span(
+                    "evolve",
+                    "ones",
+                    state.now,
+                    shard=self.trace_label,
+                    active_jobs=len(active),
+                )
             best, _score = self.search.step(ctx, current=current)
             allocation = best.to_allocation(ctx.jobs, ctx.limits)
+            if span is not None:
+                self._trace_decision(
+                    tracer,
+                    span,
+                    state.now,
+                    _score,
+                    stats_before,
+                    deployed=allocation != state.allocation,
+                )
             if allocation == state.allocation:
                 self._record_update(state)
                 return None
@@ -302,8 +329,55 @@ class ONESScheduler(SchedulerBase):
             filled = self._incremental_fill(state, ctx)
             if filled is not None:
                 self.num_incremental_fills += 1
+                tracer = active_tracer()
+                if tracer is not None:
+                    tracer.event(
+                        "incremental_fill",
+                        "ones",
+                        state.now,
+                        shard=self.trace_label,
+                        placed_jobs=len(filled.jobs()),
+                    )
                 return filled
         return None
+
+    def _trace_decision(self, tracer, span, now, score, stats_before, deployed):
+        """Emit the per-generation, cache-delta and decision records.
+
+        Called only when tracing is active.  Everything read here is a
+        pure observation of state the search already computed — no RNG,
+        no mutation — so traced and untraced runs stay bit-identical.
+        """
+        scores = self.search.last_iteration_scores
+        first_generation = self.search.iterations_run - len(scores)
+        for offset, best_score in enumerate(scores):
+            tracer.event(
+                "generation",
+                "ones",
+                now,
+                shard=self.trace_label,
+                generation=first_generation + offset,
+                best_score=best_score,
+            )
+        stats_after = self.search.scoring_engine.stats()
+        cache_delta = {
+            key: stats_after[key] - stats_before.get(key, 0) for key in stats_after
+        }
+        if any(cache_delta.values()):
+            tracer.event(
+                "scoring_cache", "ones", now, shard=self.trace_label, **cache_delta
+            )
+        tracer.event(
+            "reconfig_decision",
+            "ones",
+            now,
+            shard=self.trace_label,
+            score=float(score),
+            population_size=self.search.population_size,
+            generations=len(scores),
+            deployed=deployed,
+        )
+        tracer.end_span(span, t=now)
 
     def _apply_resume_policy(self, state: ClusterState, allocation: Allocation) -> None:
         """Halve ``R_j`` of jobs that stay waiting after this update (Resume policy)."""
@@ -378,23 +452,48 @@ class ONESScheduler(SchedulerBase):
         phases.update(self.search.phase_seconds)
         return phases
 
-    def describe_state(self) -> Dict[str, object]:
-        """Debug summary used in logs and the quickstart example."""
+    def metrics_registry(self) -> MetricsRegistry:
+        """The scheduler's live counters as a metrics registry.
+
+        Built on demand from plain instance counters (the hot path never
+        touches registry objects, and pickled inner schedulers in the
+        hierarchical process pool stay registry-free).  Metric names
+        deliberately match the historical ``describe_state()`` keys.
+        """
+        registry = MetricsRegistry()
         scoring = self.search.scoring_engine.stats()
-        return {
+        gauges = {
             "population_size": self.search.population_size,
-            "batched_operators": self.config.evolution.batched_operators,
-            "incremental_scoring": self.config.evolution.incremental_scoring,
             "iterations_run": self.search.iterations_run,
             "predictor_fits": self.predictor.fit_count,
             "predictor_partial_fits": self.predictor.partial_fit_count,
-            "refit_policy": self.config.predictor.refit_policy,
-            "full_updates": self.num_full_updates,
-            "incremental_fills": self.num_incremental_fills,
             "tracked_limits": len(self.limiter.limits()),
             "throughput_memo_entries": len(self._throughput_memo),
+        }
+        registry.set_gauges(gauges, help="ONES search state")
+        counters = {
+            "full_updates": self.num_full_updates,
+            "incremental_fills": self.num_incremental_fills,
             "throughput_table_reuses": self.num_table_reuses,
             "scoring_delta_generations": scoring["delta_generations"],
             "scoring_full_rebuilds": scoring["full_rebuilds"],
             "scoring_table_swaps": scoring["table_swaps"],
         }
+        for name, value in counters.items():
+            registry.counter(name, help="ONES scheduler counter").inc(value)
+        return registry
+
+    def describe_state(self) -> Dict[str, object]:
+        """Debug summary used in logs and the quickstart example.
+
+        Numeric fields come from :meth:`metrics_registry` so the CLI,
+        the service ``/metrics`` op and this summary can never drift;
+        only the non-numeric configuration flags are added by hand.
+        """
+        summary: Dict[str, object] = {
+            "batched_operators": self.config.evolution.batched_operators,
+            "incremental_scoring": self.config.evolution.incremental_scoring,
+            "refit_policy": self.config.predictor.refit_policy,
+        }
+        summary.update(self.metrics_registry().values())
+        return summary

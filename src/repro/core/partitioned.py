@@ -66,6 +66,8 @@ from repro.baselines.base import (
 from repro.cluster.allocation import Allocation, WorkerAssignment
 from repro.core.ones_scheduler import ONESConfig, ONESScheduler
 from repro.jobs.job import EpochRecord, Job
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import active_tracer
 from repro.scaling.overhead import ReconfigurationKind
 from repro.sim.views import PartitionViewFactory, down_nodes, partition_nodes
 from repro.utils.rng import SeedLike, spawn_generator
@@ -187,6 +189,7 @@ class HierarchicalONESScheduler(SchedulerBase):
                 self.config.ones,
                 seed=spawn_generator(self._seed, f"ones-hier/partition-{index}"),
             )
+            inner.trace_label = f"p{index}"
             self._partitions.append(_Partition(index=index, nodes=nodes, inner=inner))
 
     # ------------------------------------------------------------------ callbacks
@@ -313,10 +316,20 @@ class HierarchicalONESScheduler(SchedulerBase):
             if job_id not in self._assignment
         ]
         unseen.sort(key=lambda j: (j.arrival_time, j.job_id))
+        tracer = active_tracer()
         for job in unseen:
             demand = int(job.spec.requested_gpus)
             if demand > self._partition_size:
                 self._assignment[job.job_id] = WIDE
+                if tracer is not None:
+                    tracer.event(
+                        "assign",
+                        "reconciler",
+                        state.now,
+                        job=job.job_id,
+                        partition="wide",
+                        demand=demand,
+                    )
                 continue
             capacity = {
                 index: len(nodes) * self._gpus_per_node
@@ -332,6 +345,15 @@ class HierarchicalONESScheduler(SchedulerBase):
                 chosen = max(capacity, key=lambda i: (capacity[i], -i))
             self._assignment[job.job_id] = chosen
             loads[chosen] += demand
+            if tracer is not None:
+                tracer.event(
+                    "assign",
+                    "reconciler",
+                    state.now,
+                    job=job.job_id,
+                    partition=chosen,
+                    demand=demand,
+                )
 
     def _partition_loads(self, state: ClusterState) -> Dict[int, int]:
         """Outstanding requested-GPU load of each partition's assigned jobs."""
@@ -559,6 +581,16 @@ class HierarchicalONESScheduler(SchedulerBase):
             picked.sort()
             self._reserved[job.job_id] = tuple(picked)
             taken.update(picked)
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.event(
+                    "reserve",
+                    "reconciler",
+                    state.now,
+                    job=job.job_id,
+                    nodes=len(picked),
+                    newly_reserved=missing,
+                )
 
     def _busy_gpus_per_node(self, state: ClusterState) -> Dict[int, int]:
         busy: Dict[int, int] = {}
@@ -603,6 +635,16 @@ class HierarchicalONESScheduler(SchedulerBase):
             del self._reserved[job.job_id]
             self.num_wide_placements += 1
             placed_any = True
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.event(
+                    "wide_place",
+                    "reconciler",
+                    state.now,
+                    job=job.job_id,
+                    num_gpus=int(job.spec.requested_gpus),
+                    nodes=len(nodes),
+                )
         return placed_any
 
     # ------------------------------------------------------------------ introspection
@@ -617,18 +659,31 @@ class HierarchicalONESScheduler(SchedulerBase):
                 totals[key] = totals.get(key, 0.0) + value
         return totals
 
-    def describe_state(self) -> Dict[str, object]:
-        """Debug summary: reconciler bookkeeping plus per-partition rollups."""
+    def metrics_registry(self) -> MetricsRegistry:
+        """Reconciler gauges plus inner-counter rollups, built on demand.
+
+        In parity mode this is the flat scheduler's registry with a
+        ``partitions`` gauge added, matching :meth:`describe_state`.
+        """
         if self._flat is not None:
-            summary = dict(self._flat.describe_state())
-            summary["partitions"] = 1
-            return summary
-        return {
-            "partitions": len(self._partitions),
-            "partition_size": self._partition_size,
-            "assigned_jobs": sum(1 for p in self._assignment.values() if p != WIDE),
-            "wide_jobs": sum(1 for p in self._assignment.values() if p == WIDE),
-            "reserved_nodes": sum(len(n) for n in self._reserved.values()),
+            registry = self._flat.metrics_registry()
+            registry.gauge("partitions", help="scheduler shards").set(1)
+            return registry
+        registry = MetricsRegistry()
+        registry.set_gauges(
+            {
+                "partitions": len(self._partitions),
+                "partition_size": self._partition_size,
+                "assigned_jobs": sum(
+                    1 for p in self._assignment.values() if p != WIDE
+                ),
+                "wide_jobs": sum(1 for p in self._assignment.values() if p == WIDE),
+                "reserved_nodes": sum(len(n) for n in self._reserved.values()),
+            },
+            help="reconciler bookkeeping",
+        )
+        stats = [p.inner.search.scoring_engine.stats() for p in self._partitions]
+        counters = {
             "wide_placements": self.num_wide_placements,
             "full_updates": sum(p.inner.num_full_updates for p in self._partitions),
             "incremental_fills": sum(
@@ -638,18 +693,22 @@ class HierarchicalONESScheduler(SchedulerBase):
                 p.inner.num_table_reuses for p in self._partitions
             ),
             "scoring_delta_generations": sum(
-                p.inner.search.scoring_engine.stats()["delta_generations"]
-                for p in self._partitions
+                s["delta_generations"] for s in stats
             ),
-            "scoring_full_rebuilds": sum(
-                p.inner.search.scoring_engine.stats()["full_rebuilds"]
-                for p in self._partitions
-            ),
-            "scoring_table_swaps": sum(
-                p.inner.search.scoring_engine.stats()["table_swaps"]
-                for p in self._partitions
-            ),
+            "scoring_full_rebuilds": sum(s["full_rebuilds"] for s in stats),
+            "scoring_table_swaps": sum(s["table_swaps"] for s in stats),
         }
+        for name, value in counters.items():
+            registry.counter(name, help="rollup across partitions").inc(value)
+        return registry
+
+    def describe_state(self) -> Dict[str, object]:
+        """Debug summary: reconciler bookkeeping plus per-partition rollups."""
+        if self._flat is not None:
+            summary = dict(self._flat.describe_state())
+            summary["partitions"] = 1
+            return summary
+        return dict(self.metrics_registry().values())
 
 
 def dirty_list(

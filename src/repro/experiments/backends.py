@@ -87,8 +87,21 @@ def simulate_run(
 def execute_run(
     spec: RunSpec, resolver: Optional[SchedulerResolver] = None
 ) -> RunArtifact:
-    """Execute one declarative cell and package it as a serializable artifact."""
-    return RunArtifact.from_simulation(spec, simulate_run(spec, resolver))
+    """Execute one declarative cell and package it as a serializable artifact.
+
+    When tracing is active the whole cell runs inside a ``cell`` span
+    labelled with the spec, so multi-cell traces (``compare`` on the
+    serial backend, queue workers) stay separable per cell.
+    """
+    from repro.obs.trace import active_tracer
+
+    tracer = active_tracer()
+    if tracer is None:
+        return RunArtifact.from_simulation(spec, simulate_run(spec, resolver))
+    with tracer.span("cell", "experiment", 0.0, label=spec.label()) as span:
+        artifact = RunArtifact.from_simulation(spec, simulate_run(spec, resolver))
+        span["end_t"] = float(artifact.result.makespan)
+    return artifact
 
 
 #: Progress callback: ``(index_into_specs, artifact)``; called as each cell

@@ -68,6 +68,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 from repro.experiments.artifacts import RunArtifact
 from repro.experiments.backends import ExecutionPolicy
 from repro.experiments.spec import RunSpec
+from repro.obs.trace import active_tracer
 
 PathLike = Union[str, Path]
 
@@ -170,6 +171,7 @@ class _CellRecord:
     error: Optional[str] = None
     claims: int = 0
     expiries: int = 0
+    last_event_ts: float = 0.0  # wall-clock ts of the newest log record
 
 
 def _atomic_write(path: Path, text: str) -> None:
@@ -289,6 +291,24 @@ class WorkQueue:
 
     def _append(self, event: str, key: str, **extra: object) -> None:
         record = {"event": event, "cell": key, "ts": time.time(), **extra}
+        tracer = active_tracer()
+        if tracer is not None:
+            # Mirror every durable lease transition (enqueued / claimed /
+            # completed / failed / expired / dead) into the trace.  These
+            # carry wall-clock timestamps, so they are root-level records
+            # outside the virtual-time content-comparison contract.
+            tracer.event(
+                event,
+                "queue",
+                record["ts"],
+                parent=None,
+                cell=key,
+                **{
+                    name: value
+                    for name, value in extra.items()
+                    if isinstance(value, (str, int, float, bool))
+                },
+            )
         line = json.dumps(record, sort_keys=True) + "\n"
         # One short O_APPEND write per record: concurrent appenders on a
         # POSIX filesystem interleave whole lines, never partial ones.
@@ -326,6 +346,10 @@ class WorkQueue:
         if cell is None:
             cell = self._cells[key] = _CellRecord(key=key)
             self._order.append(key)
+        try:
+            cell.last_event_ts = max(cell.last_event_ts, float(record.get("ts", 0.0)))
+        except (TypeError, ValueError):
+            pass
         event = record.get("event")
         if event == "claimed":
             cell.claims += 1
@@ -472,6 +496,20 @@ class WorkQueue:
         renewed = Lease(cell=key, worker=worker, deadline=now + self.lease_ttl,
                         attempt=lease.attempt)
         _atomic_write(self._lease_path(key), json.dumps(renewed.to_dict(), sort_keys=True) + "\n")
+        tracer = active_tracer()
+        if tracer is not None:
+            # Heartbeats renew the lease file without a log record, so
+            # they need their own trace event (emitted from the worker's
+            # heartbeat thread: parent=None keeps them root-level).
+            tracer.event(
+                "heartbeat",
+                "queue",
+                now,
+                parent=None,
+                cell=key,
+                worker=worker,
+                deadline=renewed.deadline,
+            )
         return renewed.deadline
 
     def _release_lease(self, key: str, worker: str) -> None:
@@ -611,12 +649,22 @@ class WorkQueue:
             status.expired_leases += cell.expiries
         return status
 
-    def cell_rows(self, now: Optional[float] = None) -> List[Dict[str, object]]:
-        """Per-cell report rows (label, state, attempts, holder) for the CLI."""
+    def cell_rows(
+        self, now: Optional[float] = None, since: Optional[float] = None
+    ) -> List[Dict[str, object]]:
+        """Per-cell report rows (label, state, attempts, holder) for the CLI.
+
+        ``since`` filters over the event log: only cells whose newest log
+        record is at most ``since`` seconds old (relative to ``now``) are
+        reported — the ``queue-status --cells --since`` view of what a
+        live sweep touched recently.
+        """
         now = time.time() if now is None else now
         rows: List[Dict[str, object]] = []
         for key, state in self.states(now).items():
             cell = self._cells[key]
+            if since is not None and cell.last_event_ts < now - since:
+                continue
             lease = self._read_lease(key) if state is CellState.PROCESSING else None
             try:
                 label = self.spec(key).label()
@@ -629,6 +677,11 @@ class WorkQueue:
                     "state": state.value,
                     "attempts": cell.attempts,
                     "worker": lease.worker if lease else "",
+                    "last_event_age_s": (
+                        round(now - cell.last_event_ts, 3)
+                        if cell.last_event_ts
+                        else None
+                    ),
                     "error": (cell.error or "")[:60],
                 }
             )

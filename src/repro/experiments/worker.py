@@ -31,6 +31,7 @@ from typing import Optional, Sequence
 
 from repro.experiments.backends import execute_run, execute_run_in_subprocess
 from repro.experiments.queue import LeaseLostError, WorkQueue
+from repro.obs.trace import TraceRecorder, active_tracer, install_tracer, uninstall_tracer
 
 
 class _Heartbeat(threading.Thread):
@@ -85,6 +86,7 @@ def run_worker(
     hold_s: float = 0.0,
     verbose: bool = True,
     skew_margin: Optional[float] = None,
+    trace_out: Optional[str] = None,
 ) -> int:
     """The worker loop; returns the number of cells this worker settled.
 
@@ -92,7 +94,16 @@ def run_worker(
     (COMPLETED or DEAD) — including cells other workers are still
     holding, which this worker waits out rather than abandons.  Without
     it the worker polls forever, picking up cells as they are enqueued.
+
+    ``trace_out`` installs a trace recorder for this worker's lifetime
+    and exports it (JSONL) on exit: every queue lease transition —
+    claim, heartbeat, complete, fail, expire, dead — plus the worker's
+    own execute spans land in one file.
     """
+    installed_here = False
+    if trace_out is not None and active_tracer() is None:
+        install_tracer(TraceRecorder())
+        installed_here = True
     queue = WorkQueue(queue_dir, lease_ttl=lease_ttl, skew_margin=skew_margin)
     worker = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
     heartbeat_interval = max(queue.lease_ttl / 3.0, 0.05)
@@ -105,40 +116,63 @@ def run_worker(
     say(f"attached to {queue.path} (lease TTL {queue.lease_ttl:.1f}s, "
         f"policy retries={queue.policy.max_retries} "
         f"backoff={queue.policy.retry_backoff_s:.1f}s)")
-    while True:
-        queue.expire_leases()
-        claim = queue.claim(worker)
-        if claim is None:
-            status = queue.status()
-            if exit_when_done and status.terminal:
-                say(f"queue drained: {status.completed} completed, {status.dead} dead")
-                return settled
+    try:
+        while True:
+            queue.expire_leases()
+            claim = queue.claim(worker)
+            if claim is None:
+                status = queue.status()
+                if exit_when_done and status.terminal:
+                    say(f"queue drained: {status.completed} completed, "
+                        f"{status.dead} dead")
+                    return settled
+                if max_cells is not None and settled >= max_cells:
+                    return settled
+                time.sleep(poll_interval)
+                continue
+            key, spec = claim
+            say(f"claimed {key} ({spec.label()}, attempt {queue.attempts(key) + 1})")
+            if hold_s > 0:
+                time.sleep(hold_s)
+            heartbeat = _Heartbeat(queue, key, worker, heartbeat_interval)
+            heartbeat.start()
+            tracer = active_tracer()
+            span = None
+            if tracer is not None:
+                span = tracer.begin_span(
+                    "execute", "worker", time.time(),
+                    cell=key, label=spec.label(), worker=worker,
+                )
+            try:
+                if queue.policy.timeout_s is not None:
+                    artifact = execute_run_in_subprocess(spec, queue.policy.timeout_s)
+                else:
+                    artifact = execute_run(spec)
+            except Exception as exc:  # noqa: BLE001 - recorded in the durable log
+                heartbeat.stop()
+                state = queue.fail(key, worker, f"{type(exc).__name__}: {exc}")
+                say(f"cell {key} failed ({exc}); now {state.value}")
+                if span is not None:
+                    span["attrs"]["outcome"] = state.value
+            else:
+                heartbeat.stop()
+                queue.complete(key, worker, artifact)
+                say(f"completed {key}")
+                if span is not None:
+                    span["attrs"]["outcome"] = "completed"
+            if span is not None:
+                tracer.end_span(span, t=time.time())
+            settled += 1
             if max_cells is not None and settled >= max_cells:
                 return settled
-            time.sleep(poll_interval)
-            continue
-        key, spec = claim
-        say(f"claimed {key} ({spec.label()}, attempt {queue.attempts(key) + 1})")
-        if hold_s > 0:
-            time.sleep(hold_s)
-        heartbeat = _Heartbeat(queue, key, worker, heartbeat_interval)
-        heartbeat.start()
-        try:
-            if queue.policy.timeout_s is not None:
-                artifact = execute_run_in_subprocess(spec, queue.policy.timeout_s)
-            else:
-                artifact = execute_run(spec)
-        except Exception as exc:  # noqa: BLE001 - recorded in the durable log
-            heartbeat.stop()
-            state = queue.fail(key, worker, f"{type(exc).__name__}: {exc}")
-            say(f"cell {key} failed ({exc}); now {state.value}")
-        else:
-            heartbeat.stop()
-            queue.complete(key, worker, artifact)
-            say(f"completed {key}")
-        settled += 1
-        if max_cells is not None and settled >= max_cells:
-            return settled
+    finally:
+        if trace_out is not None:
+            tracer = active_tracer()
+            if tracer is not None:
+                count = tracer.export_jsonl(trace_out)
+                say(f"wrote {count} trace records to {trace_out}")
+            if installed_here:
+                uninstall_tracer()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -165,6 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="chaos hook: sleep this long between claiming and "
                              "executing (gives kill-mid-cell drills a window)")
     parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="record queue/worker trace events and write them "
+                             "as JSONL on exit")
     return parser
 
 
@@ -180,6 +217,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         hold_s=args.hold_s,
         verbose=not args.quiet,
         skew_margin=args.skew_margin,
+        trace_out=args.trace_out,
     )
     return 0
 

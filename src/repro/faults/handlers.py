@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, List
 from repro.cluster.allocation import Allocation
 from repro.cluster.events import Event, EventKind
 from repro.faults.plan import FaultInjection
+from repro.obs.trace import active_tracer
 from repro.sim.kernel import EventHandler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (facade imports us)
@@ -72,6 +73,15 @@ class NodeDownHandler(EventHandler):
         dead_gpus = {int(g) for g in sim.topology.gpus_of_node(injection.node_id)}
         mapping = sim.allocation.as_dict()  # {gpu: (job_id, local_batch)}
         victims = sorted({worker[0] for gpu, worker in mapping.items() if gpu in dead_gpus})
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event(
+                "node_down",
+                "fault",
+                sim.now,
+                node=int(injection.node_id),
+                victims=len(victims),
+            )
         for job_id in victims:
             self._evict(job_id)
         if victims:
@@ -102,6 +112,16 @@ class NodeDownHandler(EventHandler):
             fraction = lost / job.dataset_size
             job.samples_processed = max(0.0, job.samples_processed - lost)
             job.effective_epochs = max(0.0, job.effective_epochs - fraction * gain)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event(
+                "evict",
+                "fault",
+                sim.now,
+                job=job_id,
+                lost_samples=float(lost),
+                num_gpus=job.num_gpus,
+            )
         sim.faults.charge_eviction(lost, lost_seconds, job.num_gpus)
         sim.faults.owe_restart(
             job_id, sim.fault_costs.restart_delay(job, sim.overheads)
@@ -126,6 +146,9 @@ class NodeUpHandler(EventHandler):
         injection = _injection(event)
         if not sim.faults.mark_up(injection.node_id):
             return  # duplicate injection: the node was not down
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event("node_up", "fault", sim.now, node=int(injection.node_id))
         _dispatch_on_fault(sim)
 
 
@@ -141,6 +164,15 @@ class GpuDegradedHandler(EventHandler):
         sim = self.sim
         injection = _injection(event)
         sim.faults.set_degrade(injection.node_id, injection.factor)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event(
+                "degrade",
+                "fault",
+                sim.now,
+                node=int(injection.node_id),
+                factor=float(injection.factor),
+            )
         slow_gpus = {int(g) for g in sim.topology.gpus_of_node(injection.node_id)}
         affected: List[str] = sorted(
             {

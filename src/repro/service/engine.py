@@ -41,6 +41,8 @@ from repro.cluster.events import Event, EventKind
 from repro.cluster.topology import make_longhorn_cluster
 from repro.experiments.registry import create_scheduler
 from repro.jobs.job import JobSpec
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.obs.trace import active_tracer
 from repro.service.schemas import (
     AdmissionError,
     JobSubmission,
@@ -54,98 +56,6 @@ from repro.service.streams import StreamHub
 from repro.sim.simulator import ClusterSimulator, SimulationConfig, SimulationResult
 from repro.workload.replay import jobspec_from_dict
 from repro.workload.tasks import TaskFamily, build_workload_catalog, make_job_spec
-
-
-class LatencyHistogram:
-    """Log-bucketed latency histogram (microseconds to ~17 minutes).
-
-    Fixed geometric buckets (factor 2 from 1 µs) keep memory constant
-    under sustained load while bounding percentile error to one bucket
-    width — the standard trade for service-side latency SLOs.
-
-    Bucket convention (half-open on the left, *closed* on the right):
-    bucket 0 holds ``[0, 1 µs]``, bucket ``i >= 1`` holds
-    ``(floor * 2^(i-1), floor * 2^i]``.  A value landing exactly on a
-    power-of-two edge (e.g. ``2e-6``) belongs to the bucket it is the
-    upper bound of — :meth:`_bucket_index` snaps near-edge values onto
-    the edge before deciding, so float noise in ``log2`` can never flip
-    an edge observation into the next bucket (which used to move
-    p50/p99 by a full bucket width under steady edge-valued loads).
-    """
-
-    _FLOOR = 1e-6
-    _BUCKETS = 40
-    #: Relative ``log2`` slack treated as "exactly on a bucket edge".
-    _EDGE_EPSILON = 1e-9
-
-    def __init__(self) -> None:
-        self.counts = [0] * (self._BUCKETS + 1)
-        self.count = 0
-        self.total = 0.0
-        self.max_value = 0.0
-
-    @classmethod
-    def _bucket_index(cls, value: float) -> int:
-        """The bucket of one observation, with explicit edge handling."""
-        if value <= cls._FLOOR:
-            return 0
-        raw = math.log2(value / cls._FLOOR)
-        nearest = round(raw)
-        if abs(raw - nearest) <= cls._EDGE_EPSILON:
-            # On (or within float noise of) an edge: the value is the
-            # upper bound of bucket ``nearest``.
-            index = max(int(nearest), 1)
-        else:
-            index = math.ceil(raw)
-        # Values beyond floor * 2^40 (~13 days) collapse into the last
-        # bucket; see percentile() for the bound this puts on results.
-        return min(index, cls._BUCKETS)
-
-    def record(self, seconds: float) -> None:
-        """Add one observation (seconds)."""
-        value = max(float(seconds), 0.0)
-        self.count += 1
-        self.total += value
-        self.max_value = max(self.max_value, value)
-        self.counts[self._bucket_index(value)] += 1
-
-    def percentile(self, p: float) -> float:
-        """The latency (seconds) at percentile ``p`` (0-100).
-
-        Returns the upper bound of the bucket containing the rank-``p``
-        observation, so the result overestimates the true percentile by
-        at most one bucket width (a factor of 2).  The overflow bucket
-        has no finite upper edge: results are capped at ``max_value``,
-        so a percentile that lands there is bounded by
-        ``(floor * 2^40, max observed value]`` — exact only when every
-        overflow observation equals the maximum.
-        """
-        if self.count == 0:
-            return 0.0
-        rank = max(1, math.ceil(self.count * (p / 100.0)))
-        seen = 0
-        for index, bucket_count in enumerate(self.counts):
-            seen += bucket_count
-            if seen >= rank:
-                upper = self._FLOOR * (2.0 ** index)
-                return min(upper, self.max_value)
-        return self.max_value
-
-    @property
-    def mean(self) -> float:
-        """Mean observed latency in seconds (0 when empty)."""
-        return self.total / self.count if self.count else 0.0
-
-    def as_dict(self) -> Dict[str, float]:
-        """Summary statistics in milliseconds (JSON-friendly)."""
-        return {
-            "count": float(self.count),
-            "mean_ms": self.mean * 1e3,
-            "p50_ms": self.percentile(50.0) * 1e3,
-            "p90_ms": self.percentile(90.0) * 1e3,
-            "p99_ms": self.percentile(99.0) * 1e3,
-            "max_ms": self.max_value * 1e3,
-        }
 
 
 @dataclass
@@ -354,6 +264,7 @@ class SchedulerService:
                 tenant_state.submitted += 1
                 tenant_state.rejected += 1
             self.streams.publish(submission.tenant or "unknown", decision.to_dict())
+            self._trace_decision(decision)
             return decision
 
         last_arrival = (
@@ -378,6 +289,7 @@ class SchedulerService:
                 ),
             )
             self.streams.publish(submission.tenant, decision.to_dict())
+            self._trace_decision(decision)
             return decision
 
         # Catch up on everything scheduled before the arrival, then let
@@ -429,7 +341,23 @@ class SchedulerService:
             queue_depth=self.queue_depth(),
         )
         self.streams.publish(submission.tenant, decision.to_dict())
+        self._trace_decision(decision)
         return decision
+
+    def _trace_decision(self, decision: PlacementDecision) -> None:
+        """Record one admit/reject outcome when tracing is active."""
+        tracer = active_tracer()
+        if tracer is None:
+            return
+        tracer.event(
+            "admit" if decision.status in ("placed", "queued") else "reject",
+            "service",
+            float(self.sim.now),
+            tenant=decision.tenant,
+            job=decision.job_id,
+            status=decision.status,
+            queue_depth=decision.queue_depth,
+        )
 
     def _admit(self, submission: JobSubmission) -> TenantState:
         state = self.tenants.get(submission.tenant)
@@ -592,9 +520,64 @@ class SchedulerService:
             },
         }
 
+    def metrics_registry(self) -> MetricsRegistry:
+        """The service's live telemetry as a metrics registry.
+
+        Histograms are *adopted* (not copied): the registry renders the
+        same :class:`LatencyHistogram` instances the engine records
+        into.  Scheduler counters come from the scheduler's own
+        registry, re-registered under a ``scheduler_`` prefix — this is
+        how the scoring-cache and table-reuse counters reach the
+        ``/metrics`` transport op and ``service-status --metrics``.
+        """
+        registry = MetricsRegistry()
+        registry.histogram(
+            "service_decision_latency_seconds", help="end-to-end decision latency"
+        ).attach(self.decision_latency)
+        tenant_hist = registry.histogram(
+            "service_tenant_decision_latency_seconds",
+            help="decision latency per tenant",
+            labels=("tenant",),
+        )
+        for name, state in sorted(self.tenants.items()):
+            tenant_hist.attach(state.decision_latency, tenant=name)
+        step_hist = registry.histogram(
+            "service_step_latency_seconds",
+            help="kernel step latency per event kind",
+            labels=("kind",),
+        )
+        for kind, hist in sorted(self.step_latency.items()):
+            step_hist.attach(hist, kind=kind)
+        registry.set_gauges(
+            {
+                "service_queue_depth": self.queue_depth(),
+                "service_submissions_per_second": self.submissions_per_second(),
+                "service_virtual_time_seconds": float(self.sim.now),
+                "service_events_processed": int(self.sim.kernel.events_processed),
+            },
+            help="service engine state",
+        )
+        goodput = registry.counter(
+            "service_completed_jobs", help="completed jobs per tenant", labels=("tenant",)
+        )
+        for name, state in sorted(self.tenants.items()):
+            goodput.labels(tenant=name).inc(int(state.completed))
+        scheduler_registry = getattr(self.sim.scheduler, "metrics_registry", None)
+        if scheduler_registry is not None:
+            for name, value in scheduler_registry().values().items():
+                registry.gauge(
+                    f"scheduler_{name}", help="scheduler counter"
+                ).set(value)
+        return registry
+
     def metrics(self) -> Dict[str, object]:
         """Observability snapshot: latency histograms, throughput, goodput."""
+        scheduler_registry = getattr(self.sim.scheduler, "metrics_registry", None)
+        scheduler_metrics: Dict[str, object] = (
+            dict(scheduler_registry().values()) if scheduler_registry else {}
+        )
         return {
+            "scheduler": scheduler_metrics,
             "decision_latency": self.decision_latency.as_dict(),
             "decision_latency_by_tenant": {
                 name: state.decision_latency.as_dict()

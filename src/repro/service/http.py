@@ -168,6 +168,10 @@ class ServiceServer:
             return {"ok": True, "status": service.status()}
         if op == "metrics":
             return {"ok": True, "metrics": service.metrics()}
+        if op == "metrics_text":
+            # Prometheus text exposition — the transport's /metrics
+            # equivalent, rendered from the service's live registry.
+            return {"ok": True, "text": service.metrics_registry().render_text()}
         if op == "stream":
             tenant = str(request.get("tenant", "*"))
             cursor = int(request.get("cursor", 0))
@@ -294,6 +298,10 @@ class ServiceClient:
     def metrics(self) -> Dict[str, Any]:
         """Observability snapshot (see ``SchedulerService.metrics``)."""
         return self.request("metrics")["metrics"]
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the service registry."""
+        return self.request("metrics_text")["text"]
 
     def stream(
         self, tenant: str = "*", cursor: int = 0, limit: Optional[int] = None

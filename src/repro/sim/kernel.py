@@ -22,6 +22,7 @@ from time import perf_counter
 from typing import Callable, Mapping, Optional
 
 from repro.cluster.events import Event, EventKind, EventQueue
+from repro.obs.trace import TraceRecorder
 from repro.sim.profiling import SimProfile
 
 #: Called with the clamped target time before each event's handler runs.
@@ -58,6 +59,7 @@ class SimulationKernel:
         done: DonePredicate,
         handlers: Mapping[EventKind, EventHandler],
         profile: Optional[SimProfile] = None,
+        tracer: Optional[TraceRecorder] = None,
     ) -> None:
         self.max_time = float(max_time)
         self.max_events = int(max_events)
@@ -65,6 +67,7 @@ class SimulationKernel:
         self.events = EventQueue()
         self.events_processed: int = 0
         self.profile = profile
+        self.tracer = tracer
         self._advance_hook = advance_hook
         self._done = done
         self._handlers = dict(handlers)
@@ -135,15 +138,43 @@ class SimulationKernel:
             start = perf_counter()
             self.advance(event.time)
             profile.time_advance(start)
+        self._dispatch(event, profile)
+        return event
+
+    def _dispatch(self, event: Event, profile: Optional[SimProfile]) -> None:
+        """Run the event's handler, with optional profiling and tracing.
+
+        When a tracer is installed *and enabled*, the handler runs inside
+        an ``event:{KIND}`` span so scheduler decisions, fault evictions
+        and service admissions emitted during handling nest under the
+        kernel event that caused them.  The span's times are virtual
+        (``event.time`` → ``self.now``), never wall-clock, preserving
+        trace content-comparability across runs.
+        """
         handler = self._handlers.get(event.kind)
-        if handler is not None:
+        if handler is None:
+            return
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            span = tracer.begin_span(
+                f"event:{event.kind.name}", "kernel", event.time, job=event.job_id
+            )
+            try:
+                if profile is None:
+                    handler.handle(event)
+                else:
+                    start = perf_counter()
+                    handler.handle(event)
+                    profile.time_handler(event.kind, start)
+            finally:
+                tracer.end_span(span, t=self.now)
+        else:
             if profile is None:
                 handler.handle(event)
             else:
                 start = perf_counter()
                 handler.handle(event)
                 profile.time_handler(event.kind, start)
-        return event
 
     def run_until(self, to_time: float) -> int:
         """Process every event *strictly before* ``to_time``; return the count.
@@ -190,14 +221,7 @@ class SimulationKernel:
                 start = perf_counter()
                 self.advance(event.time)
                 profile.time_advance(start)
-            handler = self._handlers.get(event.kind)
-            if handler is not None:
-                if profile is None:
-                    handler.handle(event)
-                else:
-                    start = perf_counter()
-                    handler.handle(event)
-                    profile.time_handler(event.kind, start)
+            self._dispatch(event, profile)
             if self._done():
                 break
         return self.events_processed

@@ -55,6 +55,7 @@ from repro.faults.runtime import FaultRuntime
 from repro.jobs.job import Job, JobSpec
 from repro.jobs.throughput import ThroughputModel
 from repro.baselines.base import ClusterState, SchedulerBase
+from repro.obs.trace import active_tracer, current_tracer
 from repro.scaling.overhead import OverheadModel, ReconfigurationKind
 from repro.sim.handlers import default_handlers
 from repro.sim.kernel import SimulationKernel
@@ -366,6 +367,11 @@ class ClusterSimulator:
             done=self._all_done,
             handlers=self.handlers,
             profile=self.profile,
+            # The process-wide recorder (None when tracing is dormant).
+            # Captured once here: the kernel guards on it per event, and
+            # recording never touches RNG or event ordering, so results
+            # are bit-identical with tracing on or off.
+            tracer=current_tracer(),
         )
         self._num_reconfigs = 0
         self._busy_gpu_time = 0.0
@@ -564,6 +570,11 @@ class ClusterSimulator:
         changed = self.allocation.changed_jobs(proposal)
         if not changed:
             return
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.event(
+                "apply_allocation", "sim", self.now, changed_jobs=len(changed)
+            )
         for job_id in sorted(changed):
             job = self.jobs[job_id]
             new_config = proposal.config_of(job_id)

@@ -379,3 +379,84 @@ class TestServiceCommands:
             if server.poll() is None:
                 server.kill()
                 server.wait(timeout=10)
+
+
+class TestTraceObservability:
+    """``--trace-out`` recording plus the ``trace TRACE_FILE`` inspector."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_tracer(self):
+        from repro.obs.trace import uninstall_tracer
+
+        uninstall_tracer()
+        yield
+        uninstall_tracer()
+
+    @pytest.fixture()
+    def recorded_trace(self, tmp_path, capsys):
+        path = tmp_path / "run.trace.jsonl"
+        code = main([
+            "run", "--scheduler", "ones", "--gpus", "8", "--jobs", "3",
+            "--arrival-interval", "10", "--seed", "4",
+            "--trace-out", str(path),
+        ])
+        assert code == 0
+        assert "trace:" in capsys.readouterr().out
+        return path
+
+    def test_run_trace_out_writes_valid_jsonl(self, recorded_trace):
+        from repro.obs.trace import load_jsonl, validate_trace_file
+
+        assert validate_trace_file(str(recorded_trace)) == []
+        meta, records = load_jsonl(str(recorded_trace))
+        assert meta["schema"] == "repro.trace"
+        assert records
+        assert {r["cat"] for r in records} >= {"kernel", "ones"}
+
+    def test_inspector_summary(self, recorded_trace, capsys):
+        code = main(["trace", str(recorded_trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "records" in out
+        assert "kernel" in out
+        assert "reconfig_decision" in out
+
+    def test_inspector_tree_and_filter(self, recorded_trace, capsys):
+        code = main([
+            "trace", str(recorded_trace), "--tree", "--filter-cat", "ones",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ones/" in out
+        assert "kernel/" not in out
+
+    def test_inspector_chrome_export(self, recorded_trace, tmp_path, capsys):
+        chrome = tmp_path / "chrome.json"
+        code = main(["trace", str(recorded_trace), "--chrome", str(chrome)])
+        assert code == 0
+        assert "Perfetto" in capsys.readouterr().out
+        payload = json.loads(chrome.read_text())
+        assert payload["traceEvents"]
+
+    def test_inspector_rejects_invalid_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "event"}\n')
+        code = main(["trace", str(bad)])
+        assert code == 1
+        assert "SCHEMA ERRORS" in capsys.readouterr().out
+
+    def test_generate_mode_still_requires_output(self):
+        with pytest.raises(SystemExit, match="--output is required"):
+            main(["trace", "--jobs", "4"])
+
+    def test_compare_rejects_trace_out_with_parallel_backend(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace-out"):
+            main([
+                "compare", "--gpus", "8", "--jobs", "2",
+                "--schedulers", "fifo", "--backend", "process",
+                "--trace-out", str(tmp_path / "t.jsonl"),
+            ])
+
+    def test_queue_status_since_flag_parses(self):
+        args = build_parser().parse_args(["queue-status", "q", "--since", "60"])
+        assert args.since == 60.0

@@ -484,3 +484,101 @@ class TestDeadCellPlaceholders:
         table = sweep.mean_metric_table("jct")
         assert "FIFO" in table and table["FIFO"]
         assert not table.get("SRTF")  # no live cells -> no entries
+
+
+class TestQueueObservability:
+    """Trace events for lease transitions, and the --since event-log filter."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_tracer(self):
+        from repro.obs.trace import uninstall_tracer
+
+        uninstall_tracer()
+        yield
+        uninstall_tracer()
+
+    def test_lease_transitions_mirror_into_the_trace(self, tmp_path):
+        from repro.obs.trace import TraceRecorder, install_tracer
+
+        tracer = install_tracer(TraceRecorder())
+        queue = WorkQueue(tmp_path / "q", lease_ttl=5.0,
+                          policy=ExecutionPolicy(max_retries=0))
+        (key,) = queue.enqueue_all(_specs(1))
+        queue.claim("alice", now=100.0)
+        queue.fail(key, "alice", "boom", now=101.0)
+        names = [r["name"] for r in tracer.records() if r["cat"] == "queue"]
+        assert names[0] == "enqueued"
+        assert "claimed" in names
+        assert "failed" in names
+        assert "dead" in names  # max_retries=0: first failure goes terminal
+        claimed = next(r for r in tracer.records() if r["name"] == "claimed")
+        assert claimed["attrs"]["cell"] == key
+        assert claimed["attrs"]["worker"] == "alice"
+        assert claimed["parent"] is None
+
+    def test_expiry_and_heartbeat_traced(self, tmp_path):
+        from repro.obs.trace import TraceRecorder, install_tracer
+
+        tracer = install_tracer(TraceRecorder())
+        queue = WorkQueue(tmp_path / "q", lease_ttl=5.0)
+        (key,) = queue.enqueue_all(_specs(1))
+        queue.claim("alice", now=100.0)
+        queue.heartbeat(key, "alice", now=102.0)
+        queue.expire_leases(now=200.0)
+        names = [r["name"] for r in tracer.records() if r["cat"] == "queue"]
+        assert "heartbeat" in names
+        assert "expired" in names
+        beat = next(r for r in tracer.records() if r["name"] == "heartbeat")
+        assert beat["attrs"]["deadline"] == 107.0
+
+    def test_queue_is_silent_without_a_tracer(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue_all(_specs(1))
+        assert queue.status().pending == 1  # no tracer installed: no crash
+
+    def test_cell_rows_since_filters_stale_cells(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        keys = queue.enqueue_all(_specs(2))
+        # Age one cell's newest event far into the past.
+        queue._cells[keys[0]].last_event_ts = time.time() - 3600.0
+        rows = queue.cell_rows(since=60.0)
+        assert [row["cell"] for row in rows] == [keys[1]]
+        assert rows[0]["last_event_age_s"] is not None
+        assert rows[0]["last_event_age_s"] < 60.0
+        # Without the filter both cells report, with their event ages.
+        all_rows = queue.cell_rows()
+        assert len(all_rows) == 2
+
+    def test_last_event_ts_survives_log_replay(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", lease_ttl=60.0)
+        (key,) = queue.enqueue_all(_specs(1))
+        queue.claim("alice")
+        fresh = WorkQueue(tmp_path / "q")
+        fresh.status()  # force a log replay into the in-memory cell table
+        assert fresh._cells[key].last_event_ts == pytest.approx(
+            queue._cells[key].last_event_ts
+        )
+        assert fresh.cell_rows(since=3600.0)
+
+    def test_worker_trace_out_writes_jsonl(self, tmp_path):
+        from repro.experiments.worker import run_worker
+        from repro.obs.trace import active_tracer, load_jsonl, validate_trace_file
+
+        queue = WorkQueue(tmp_path / "q")
+        queue.enqueue_all(_specs(1))
+        trace_path = tmp_path / "worker.trace.jsonl"
+        settled = run_worker(
+            str(tmp_path / "q"), worker_id="w0", exit_when_done=True,
+            verbose=False, trace_out=str(trace_path),
+        )
+        assert settled == 1
+        assert active_tracer() is None  # worker uninstalls what it installed
+        assert validate_trace_file(str(trace_path)) == []
+        _, records = load_jsonl(str(trace_path))
+        names = {r["name"] for r in records}
+        assert {"claimed", "completed"} <= names
+        execute = next(r for r in records if r["name"] == "execute")
+        assert execute["kind"] == "span"
+        assert execute["cat"] == "worker"
+        assert execute["attrs"]["outcome"] == "completed"
+        assert execute["attrs"]["worker"] == "w0"

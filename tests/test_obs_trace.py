@@ -1,0 +1,231 @@
+"""Tests for the structured trace recorder (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    TraceRecorder,
+    active_tracer,
+    current_tracer,
+    export_chrome_trace,
+    filter_records,
+    format_tree,
+    install_tracer,
+    load_jsonl,
+    summarize,
+    uninstall_tracer,
+    validate_record,
+    validate_trace_file,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    uninstall_tracer()
+    yield
+    uninstall_tracer()
+
+
+class TestRecorder:
+    def test_events_carry_seq_and_attrs(self):
+        tracer = TraceRecorder()
+        tracer.event("decision", "ones", 12.5, score=3.25, job="job-001")
+        (record,) = tracer.records()
+        assert record["kind"] == "event"
+        assert record["seq"] == 0
+        assert record["t"] == 12.5
+        assert record["parent"] is None
+        assert record["attrs"] == {"score": 3.25, "job": "job-001"}
+
+    def test_spans_nest_via_parent_links(self):
+        tracer = TraceRecorder()
+        outer = tracer.begin_span("event:EPOCH_END", "kernel", 10.0)
+        tracer.event("generation", "ones", 10.0, generation=0)
+        inner = tracer.begin_span("evolve", "ones", 10.0)
+        tracer.event("reconfig_decision", "ones", 10.0)
+        tracer.end_span(inner, t=10.0)
+        tracer.end_span(outer, t=11.0)
+        records = tracer.records()
+        assert [r["parent"] for r in records] == [None, 0, 0, 2]
+        assert records[0]["dur"] == 1.0
+        assert records[2]["dur"] == 0.0
+
+    def test_span_context_manager_sets_end_time(self):
+        tracer = TraceRecorder()
+        with tracer.span("cell", "experiment", 0.0, label="x") as span:
+            span["end_t"] = 42.0
+        (record,) = tracer.records()
+        assert record["dur"] == 42.0
+        assert "end_t" not in record
+
+    def test_end_span_pops_out_of_order_safely(self):
+        tracer = TraceRecorder()
+        outer = tracer.begin_span("a", "c", 0.0)
+        tracer.begin_span("b", "c", 0.0)
+        # Ending the outer span drops the dangling inner frame too.
+        tracer.end_span(outer, t=1.0)
+        tracer.event("after", "c", 2.0)
+        assert tracer.records()[-1]["parent"] is None
+
+    def test_ring_buffer_bounds_memory_and_counts_drops(self):
+        tracer = TraceRecorder(capacity=4)
+        for index in range(10):
+            tracer.event("e", "c", float(index))
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert [r["t"] for r in tracer.records()] == [6.0, 7.0, 8.0, 9.0]
+        # seq keeps increasing across evictions.
+        assert [r["seq"] for r in tracer.records()] == [6, 7, 8, 9]
+
+    def test_disabled_recorder_records_nothing(self):
+        tracer = TraceRecorder(enabled=False)
+        tracer.event("e", "c", 0.0)
+        assert len(tracer) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_explicit_root_parent(self):
+        tracer = TraceRecorder()
+        tracer.begin_span("outer", "c", 0.0)
+        tracer.event("beat", "queue", 1.0, parent=None)
+        assert tracer.records()[-1]["parent"] is None
+
+
+class TestGlobalInstallation:
+    def test_install_current_uninstall_cycle(self):
+        assert current_tracer() is None
+        assert active_tracer() is None
+        tracer = install_tracer(TraceRecorder())
+        assert current_tracer() is tracer
+        assert active_tracer() is tracer
+        assert uninstall_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_active_tracer_hides_disabled_recorder(self):
+        install_tracer(TraceRecorder(enabled=False))
+        assert current_tracer() is not None
+        assert active_tracer() is None
+
+
+class TestExportAndSchema:
+    def _sample(self):
+        tracer = TraceRecorder()
+        with tracer.span("event:JOB_ARRIVAL", "kernel", 0.0) as span:
+            tracer.event("reconfig_decision", "ones", 0.0, score=1.5)
+            span["end_t"] = 0.0
+        tracer.event("node_down", "fault", 5.0, node=3)
+        return tracer
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = self._sample()
+        path = tmp_path / "trace.jsonl"
+        written = tracer.export_jsonl(str(path))
+        assert written == 3
+        meta, records = load_jsonl(str(path))
+        assert meta["schema"] == SCHEMA_NAME
+        assert meta["version"] == SCHEMA_VERSION
+        assert meta["dropped"] == 0
+        assert records == tracer.records()
+
+    def test_exported_file_validates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self._sample().export_jsonl(str(path))
+        assert validate_trace_file(str(path)) == []
+
+    def test_validator_flags_bad_records(self):
+        assert validate_record([]) != []
+        assert validate_record({"kind": "nope"}) != []
+        errors = validate_record(
+            {"kind": "span", "seq": 0, "name": "", "cat": "c", "t": 0.0,
+             "dur": -1.0, "parent": None, "attrs": {}}
+        )
+        assert any("name" in e for e in errors)
+        assert any("dur" in e for e in errors)
+        good = {"kind": "event", "seq": 1, "name": "n", "cat": "c", "t": 1.0,
+                "parent": None, "attrs": {"k": 1}}
+        assert validate_record(good) == []
+
+    def test_validator_flags_missing_header_and_bad_seq(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        record = {"kind": "event", "seq": 5, "name": "n", "cat": "c",
+                  "t": 0.0, "parent": None, "attrs": {}}
+        path.write_text(
+            json.dumps(record) + "\n" + json.dumps(dict(record, seq=5)) + "\n"
+        )
+        errors = validate_trace_file(str(path))
+        assert any("meta header" in e for e in errors)
+        assert any("not increasing" in e for e in errors)
+
+    def test_numpy_scalars_export_cleanly(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        tracer = TraceRecorder()
+        tracer.event("e", "c", 0.0, score=np.float64(1.5), count=np.int64(3))
+        path = tmp_path / "np.jsonl"
+        tracer.export_jsonl(str(path))
+        _, records = load_jsonl(str(path))
+        assert records[0]["attrs"] == {"score": 1.5, "count": 3}
+
+    def test_chrome_export_structure(self, tmp_path):
+        tracer = self._sample()
+        path = tmp_path / "chrome.json"
+        export_chrome_trace(tracer.records(), str(path))
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        spans = [e for e in events if e.get("ph") == "X"]
+        instants = [e for e in events if e.get("ph") == "i"]
+        names = [e for e in events if e.get("ph") == "M"]
+        assert len(spans) == 1 and len(instants) == 2
+        # Zero-duration virtual spans get the 1 µs visibility floor.
+        assert spans[0]["dur"] == 1.0
+        assert {m["args"]["name"] for m in names} == {"kernel", "ones", "fault"}
+
+    def test_export_is_deterministic(self, tmp_path):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._sample().export_jsonl(str(first))
+        self._sample().export_jsonl(str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestInspectionHelpers:
+    def _records(self):
+        tracer = TraceRecorder()
+        outer = tracer.begin_span("event:EPOCH_END", "kernel", 1.0)
+        tracer.event("assign", "reconciler", 1.0, job="j")
+        tracer.end_span(outer, t=2.0)
+        tracer.event("node_down", "fault", 3.0)
+        return tracer.records()
+
+    def test_summarize(self):
+        summary = summarize(self._records())
+        assert summary["records"] == 3
+        assert summary["spans"] == 1
+        assert summary["events"] == 2
+        assert summary["t_min"] == 1.0
+        assert summary["t_max"] == 3.0
+        assert summary["by_cat"] == {"fault": 1, "kernel": 1, "reconciler": 1}
+
+    def test_filter_records(self):
+        records = self._records()
+        assert len(filter_records(records, cat="recon")) == 1
+        assert len(filter_records(records, name="node")) == 1
+        assert len(filter_records(records, cat="kernel", name="assign")) == 0
+
+    def test_format_tree_indents_children(self):
+        lines = format_tree(self._records())
+        assert len(lines) == 3
+        assert lines[0].startswith("▸ kernel/event:EPOCH_END")
+        assert lines[1].startswith("  · reconciler/assign")
+        assert lines[2].startswith("· fault/node_down")
+
+    def test_format_tree_caps_output(self):
+        tracer = TraceRecorder()
+        for index in range(10):
+            tracer.event("e", "c", float(index))
+        lines = format_tree(tracer.records(), max_records=4)
+        assert len(lines) == 5
+        assert "6 more records" in lines[-1]

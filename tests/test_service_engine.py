@@ -302,3 +302,62 @@ class TestWeightedShareAdmission:
         state = service.tenants["bob"]
         assert state.rejected == 1
         assert len(state.active_jobs) == 1
+
+
+class TestMetricsRegistry:
+    """The service's live telemetry rendered through the obs registry."""
+
+    def test_registry_snapshot_covers_service_and_scheduler(self):
+        service = make_service()
+        service.submit(JobSubmission(tenant="alice"))
+        values = service.metrics_registry().values()
+        assert values["service_decision_latency_seconds_count"] == 1
+        assert values["service_queue_depth"] == 0
+        assert values['service_completed_jobs{tenant="alice"}'] == 0
+        # The scheduler's scoring-cache counters surface with a prefix.
+        assert "scheduler_iterations_run" in values
+        assert "scheduler_scoring_delta_generations" in values
+
+    def test_registry_histograms_are_live_not_copies(self):
+        service = make_service()
+        registry = service.metrics_registry()
+        before = registry.values()["service_decision_latency_seconds_count"]
+        service.submit(JobSubmission(tenant="alice"))
+        after = registry.values()["service_decision_latency_seconds_count"]
+        assert (before, after) == (0, 1)
+
+    def test_prometheus_rendering(self):
+        service = make_service()
+        service.submit(JobSubmission(tenant="alice"))
+        text = service.metrics_registry().render_text()
+        assert "# TYPE service_decision_latency_seconds histogram" in text
+        assert 'service_tenant_decision_latency_seconds_bucket{tenant="alice"' in text
+        assert "service_decision_latency_seconds_sum" in text
+        assert "scheduler_full_updates" in text
+
+    def test_metrics_snapshot_includes_scheduler_section(self):
+        service = make_service()
+        service.submit(JobSubmission(tenant="alice"))
+        metrics = service.metrics()
+        scheduler = metrics["scheduler"]
+        assert scheduler["full_updates"] >= 1
+        assert "throughput_table_reuses" in scheduler
+
+
+class TestAdmissionTraceEvents:
+    def test_admit_and_reject_events_recorded(self):
+        from repro.obs.trace import TraceRecorder, install_tracer, uninstall_tracer
+
+        tracer = install_tracer(TraceRecorder())
+        try:
+            service = make_service()
+            service.submit(JobSubmission(tenant="alice"))
+            service.submit(JobSubmission(tenant="nobody"))
+        finally:
+            uninstall_tracer()
+        names = [r["name"] for r in tracer.records() if r["cat"] == "service"]
+        assert "admit" in names
+        assert "reject" in names
+        admit = next(r for r in tracer.records() if r["name"] == "admit")
+        assert admit["attrs"]["tenant"] == "alice"
+        assert admit["attrs"]["status"] in ("placed", "queued")

@@ -138,3 +138,13 @@ class TestProtocolErrors:
             probe = ServiceClient(port=live_service, timeout=2.0)
             probe.request("ping")
             probe.close()
+
+
+class TestMetricsTextOp:
+    def test_metrics_text_returns_prometheus_exposition(self, live_service):
+        with ServiceClient(port=live_service) as client:
+            client.submit(JobSubmission(tenant="t1"))
+            text = client.metrics_text()
+        assert "# TYPE service_decision_latency_seconds histogram" in text
+        assert "service_queue_depth" in text
+        assert "scheduler_iterations_run" in text
